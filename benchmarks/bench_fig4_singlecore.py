@@ -1,0 +1,48 @@
+"""Figure 4: single-core benign applications — execution time and DRAM
+energy under each mechanism, normalized to the unprotected baseline,
+grouped by RBCPKI category (L/M/H).
+
+Paper shape: BlockHammer (and the deterministic counters) ~1.00 in both
+metrics; PARA/MRLoc show small but visible time/energy overheads that
+grow with RBCPKI (their victim refreshes scale with row activations).
+
+A 3-apps-per-category subset keeps the benchmark tractable; run
+``repro.harness.experiments.fig4_singlecore`` with ``app_names=None``
+for all 30 applications.
+"""
+
+from repro.harness.experiments import fig4_group_means, fig4_singlecore
+from repro.harness.reporting import format_table
+
+_APPS = [
+    # L
+    "403.gcc", "458.sjeng", "ycsb.A",
+    # M
+    "483.xalancbmk", "473.astar", "437.leslie3d",
+    # H
+    "429.mcf", "470.lbm", "462.libquantum",
+]
+
+
+def test_fig4_singlecore(benchmark, quick_hcfg, save_report):
+    rows = benchmark.pedantic(
+        fig4_singlecore, args=(quick_hcfg, _APPS), rounds=1, iterations=1
+    )
+    means = fig4_group_means(rows)
+    save_report(
+        "fig4_singlecore",
+        format_table(
+            ["category", "mechanism", "norm time", "norm energy"],
+            [
+                [m["category"], m["mechanism"], round(m["norm_time"], 4), round(m["norm_energy"], 4)]
+                for m in means
+            ],
+        ),
+    )
+    bh = {m["category"]: m for m in means if m["mechanism"] == "blockhammer"}
+    # Paper: BlockHammer introduces no single-core overhead (<1% here).
+    for category in ("L", "M", "H"):
+        assert bh[category]["norm_time"] < 1.02
+        assert bh[category]["norm_energy"] < 1.02
+    # No mechanism lets a benign app flip bits.
+    assert all(r["bitflips"] == 0 for r in rows if r["mechanism"] == "blockhammer")

@@ -1,0 +1,39 @@
+"""Table 1: BlockHammer parameter values for DDR4 at NRH = 32K.
+
+Regenerates every derived parameter of the paper's flagship
+configuration from the public chip parameters and Eqs. 1/3.
+"""
+
+from repro.core.config import BlockHammerConfig
+from repro.dram.spec import DDR4_2400
+from repro.harness.reporting import format_table
+
+
+def _table1_rows():
+    cfg = BlockHammerConfig.for_nrh(32768, DDR4_2400)
+    worst = BlockHammerConfig.for_nrh(32768, DDR4_2400, blast_radius=6)
+    return [
+        ["NRH", 32768, "32K (paper)"],
+        ["NRH* (double-sided)", int(cfg.nrh_star), "16K (paper)"],
+        ["NRH* (r_blast=6 worst case)", round(worst.nrh_star), "0.2539 x NRH (paper)"],
+        ["NBL", cfg.nbl, "8K (paper)"],
+        ["tCBF (ms)", cfg.t_cbf_ns / 1e6, "64 (paper)"],
+        ["tDelay (us)", round(cfg.t_delay_ns / 1e3, 2), "7.7 (paper)"],
+        ["CBF size (counters/bank)", cfg.cbf_size, "1K (paper)"],
+        ["CBF hash functions", cfg.hash_count, "4 (paper)"],
+        ["CBF counter bits", cfg.counter_bits, "13 (paper Table 4)"],
+        ["History buffer entries/rank", cfg.history_entries, "887 (paper)"],
+        ["AttackThrottler counters/pair", 2, "2 (paper)"],
+    ]
+
+
+def test_table1_configuration(benchmark, save_report):
+    rows = benchmark.pedantic(_table1_rows, rounds=1, iterations=1)
+    save_report(
+        "table1_config",
+        format_table(["parameter", "reproduced", "paper"], rows),
+    )
+    as_dict = {r[0]: r[1] for r in rows}
+    assert as_dict["NRH* (double-sided)"] == 16384
+    assert abs(as_dict["tDelay (us)"] - 7.7) < 0.15
+    assert as_dict["History buffer entries/rank"] in (887, 888)

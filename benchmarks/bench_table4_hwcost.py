@@ -1,0 +1,59 @@
+"""Table 4: per-rank area, access energy, and static power of
+BlockHammer and the six baselines at NRH = 32K and NRH = 1K.
+
+BlockHammer's row is computed from its actual configuration; baseline
+rows follow their published sizing rules / anchors (see
+``repro.hwcost.mechanisms``).  The assertions check the paper's
+*scaling* claims rather than absolute values.
+"""
+
+from repro.harness.reporting import format_table
+from repro.hwcost.mechanisms import mechanism_cost, table4_rows
+
+
+def _rows():
+    out = []
+    for cost in table4_rows((32768, 1024)):
+        out.append(
+            [
+                cost.name,
+                cost.nrh,
+                round(cost.sram_kb, 2),
+                round(cost.cam_kb, 2),
+                round(cost.total_area_mm2, 3),
+                round(cost.cpu_area_percent, 3),
+                round(cost.access_energy_pj, 1),
+                round(cost.static_power_mw, 1),
+            ]
+        )
+    return out
+
+
+def test_table4_hardware_cost(benchmark, save_report):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    save_report(
+        "table4_hwcost",
+        format_table(
+            ["mechanism", "NRH", "SRAM KB", "CAM KB", "mm2", "% CPU", "pJ/access", "mW"],
+            rows,
+        ),
+    )
+
+    bh32 = mechanism_cost("blockhammer", 32768)
+    bh1 = mechanism_cost("blockhammer", 1024)
+    twice1 = mechanism_cost("twice", 1024)
+    cbt1 = mechanism_cost("cbt", 1024)
+    graphene32 = mechanism_cost("graphene", 32768)
+    graphene1 = mechanism_cost("graphene", 1024)
+
+    # Paper claims (Section 6.1): at NRH=1K TWiCe/CBT cost a multiple of
+    # BlockHammer's area; Graphene's access energy explodes ~22x from
+    # 32K to 1K and ends up many times BlockHammer's.
+    assert bh32.cpu_area_percent < 0.5
+    assert twice1.total_area_mm2 > 2.0 * bh1.total_area_mm2
+    assert cbt1.total_area_mm2 > 1.5 * bh1.total_area_mm2
+    assert graphene1.access_energy_pj > 10 * graphene32.access_energy_pj
+    assert graphene1.access_energy_pj > 4 * bh1.access_energy_pj
+    # PRoHIT/MRLoc cannot be rescaled (the paper's "x" cells).
+    assert mechanism_cost("prohit", 1024) is None
+    assert mechanism_cost("mrloc", 1024) is None

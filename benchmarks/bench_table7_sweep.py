@@ -1,0 +1,61 @@
+"""Table 7: BlockHammer configuration parameters for each NRH.
+
+Regenerates CBF size, NBL, and tCBF for NRH = 32K .. 1K, plus the
+derived tDelay and history-buffer sizing for each point.
+"""
+
+from repro.core.config import BlockHammerConfig
+from repro.harness.reporting import format_table
+
+_PAPER_TABLE7 = {
+    32768: (1024, 8192),
+    16384: (1024, 4096),
+    8192: (1024, 2048),
+    4096: (2048, 1024),
+    2048: (4096, 512),
+    1024: (8192, 256),
+}
+
+
+def _rows():
+    rows = []
+    for nrh, (paper_cbf, paper_nbl) in _PAPER_TABLE7.items():
+        cfg = BlockHammerConfig.for_nrh(nrh)
+        rows.append(
+            [
+                nrh,
+                int(cfg.nrh_star),
+                cfg.cbf_size,
+                paper_cbf,
+                cfg.nbl,
+                paper_nbl,
+                round(cfg.t_cbf_ns / 1e6),
+                round(cfg.t_delay_ns / 1e3, 1),
+                cfg.history_entries,
+            ]
+        )
+    return rows
+
+
+def test_table7_parameter_sweep(benchmark, save_report):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    save_report(
+        "table7_sweep",
+        format_table(
+            [
+                "NRH",
+                "NRH*",
+                "CBF size",
+                "paper CBF",
+                "NBL",
+                "paper NBL",
+                "tCBF ms",
+                "tDelay us",
+                "HB entries",
+            ],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[2] == row[3], f"CBF size mismatch at NRH={row[0]}"
+        assert row[4] == row[5], f"NBL mismatch at NRH={row[0]}"

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Why commodity compatibility matters (Section 2.3).
+
+Simulates a DRAM chip whose internal row mapping is scrambled (as real
+vendors' proprietary mappings are).  A reactive-refresh mechanism
+(Graphene) that assumes logical adjacency refreshes the wrong physical
+rows and the attack succeeds; with vendor knowledge it succeeds in
+protecting; BlockHammer protects without any mapping knowledge.
+
+Run:  python examples/rowmap_ablation.py
+"""
+
+from repro import HarnessConfig, format_table
+from repro.harness.experiments import rowmap_ablation
+
+
+def main() -> None:
+    hcfg = HarnessConfig(scale=128, paper_nrh=32768, instructions_per_thread=60_000)
+    print("chip model: scrambled (proprietary) in-DRAM row mapping\n")
+    rows = rowmap_ablation(hcfg, mechanisms=["graphene", "blockhammer"])
+    print(
+        format_table(
+            ["mechanism", "adjacency knowledge", "bit-flips", "victim refreshes"],
+            [
+                [r["mechanism"], r["adjacency"], r["bitflips"], r["victim_refreshes"]]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nGraphene needs the proprietary mapping to find true victims;"
+        "\nwith an assumed-linear mapping its refreshes land on the wrong"
+        "\nrows and bits flip.  BlockHammer throttles aggressors by their"
+        "\nactivation rate alone, so the mapping is irrelevant (Table 6,"
+        "\n'compatible with commodity DRAM chips')."
+    )
+
+
+if __name__ == "__main__":
+    main()

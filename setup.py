@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` can use the legacy (setup.py develop) editable path
+in offline environments where PEP 660 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""The dual counting Bloom filter (D-CBF, Section 3.1.1, Figure 3).
+
+Combines the Unified Bloom Filter's time-interleaving [86] with counting
+Bloom filters [33]: two CBFs both receive every insertion, only the
+*active* one answers queries, and at every epoch boundary (half a CBF
+lifetime, tCBF/2) the active filter is cleared — with fresh hash seeds —
+and the roles swap.  Each filter therefore accumulates exactly two
+epochs of insertions before it is cleared, so the active filter's
+estimate always covers a rolling window of at least one and at most two
+epochs, and a row whose activation count exceeds NBL within an epoch can
+never escape blacklisting (no false negatives).
+"""
+
+from __future__ import annotations
+
+from repro.core.bloom import CountingBloomFilter
+from repro.utils.rng import DeterministicRng
+from repro.utils.validation import require
+
+
+class DualCountingBloomFilter:
+    """Two time-interleaved CBFs with epoch-based clear-and-swap."""
+
+    def __init__(
+        self,
+        size: int,
+        epoch_ns: float,
+        hash_count: int = 4,
+        counter_max: int = (1 << 12) - 1,
+        rng: DeterministicRng | None = None,
+        track_exact: bool = False,
+    ) -> None:
+        require(epoch_ns > 0.0, "epoch length must be positive")
+        rng = rng or DeterministicRng(0)
+        self.epoch_ns = epoch_ns
+        self.filters = [
+            CountingBloomFilter(size, hash_count, counter_max, rng.fork("cbf-a")),
+            CountingBloomFilter(size, hash_count, counter_max, rng.fork("cbf-b")),
+        ]
+        self._active = 0
+        self._next_clear = epoch_ns
+        self.epoch_index = 0
+        self.track_exact = track_exact
+        # Optional shadow of exact per-key insertion counts per filter,
+        # used to measure Bloom-aliasing false positives (Section 8.4).
+        self._exact: list[dict[int, int]] = [{}, {}]
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> CountingBloomFilter:
+        """The filter currently answering queries."""
+        return self.filters[self._active]
+
+    @property
+    def passive(self) -> CountingBloomFilter:
+        return self.filters[1 - self._active]
+
+    def maybe_rotate(self, now: float) -> int:
+        """Clear-and-swap for every epoch boundary passed by ``now``.
+
+        Returns the number of rotations performed (usually 0 or 1).
+        """
+        rotations = 0
+        while now >= self._next_clear:
+            self.active.clear(reseed=True)
+            if self.track_exact:
+                self._exact[self._active] = {}
+            self._active = 1 - self._active
+            self._next_clear += self.epoch_ns
+            self.epoch_index += 1
+            rotations += 1
+        return rotations
+
+    def insert(self, key: int) -> int:
+        """Insert into both filters; returns the active estimate."""
+        self.passive.insert(key)
+        estimate = self.active.insert(key)
+        if self.track_exact:
+            for shadow in self._exact:
+                shadow[key] = shadow.get(key, 0) + 1
+        return estimate
+
+    def count(self, key: int) -> int:
+        """Active filter's (upper-bound) count for ``key``."""
+        return self.active.test(key)
+
+    def exact_count(self, key: int) -> int:
+        """True insertion count of ``key`` in the active filter's window
+        (requires ``track_exact``)."""
+        return self._exact[self._active].get(key, 0)
+
+    def next_clear_at(self) -> float:
+        """Time of the next epoch boundary."""
+        return self._next_clear

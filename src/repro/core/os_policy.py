@@ -1,0 +1,72 @@
+"""OS-level RHLI policies (Section 3.2.3).
+
+The paper proposes exposing per-<thread, bank> RHLI to the operating
+system, which "might kill or deschedule an attacking thread", and leaves
+the study of such policies to future work.  This module implements the
+simplest such policy as an extension: :class:`BlockHammerWithOsPolicy`
+watches each thread's maximum RHLI and, once it stays above a kill
+threshold for a configurable number of consecutive epochs, deschedules
+the thread permanently (modeled as a zero in-flight quota, which stops
+all further memory requests at the source).
+
+Compared to plain AttackThrottler quotas, descheduling removes even the
+attacker's tDelay-paced trickle of blacklisted activations.
+"""
+
+from __future__ import annotations
+
+from repro.core.blockhammer import BlockHammer
+from repro.core.config import BlockHammerConfig
+from repro.mitigations.base import MitigationContext
+from repro.utils.validation import require
+
+
+class BlockHammerWithOsPolicy(BlockHammer):
+    """BlockHammer plus an OS governor that kills persistent attackers."""
+
+    name = "blockhammer-os"
+
+    def __init__(
+        self,
+        config: BlockHammerConfig | None = None,
+        kill_rhli: float = 0.8,
+        patience_epochs: int = 1,
+        review_interval_ns: float | None = None,
+    ) -> None:
+        require(kill_rhli > 0.0, "kill threshold must be positive")
+        require(patience_epochs >= 1, "patience must be >= 1 epoch")
+        super().__init__(config=config, observe_only=False)
+        self.kill_rhli = kill_rhli
+        self.patience_epochs = patience_epochs
+        # Default: review once per epoch (the RHLI counter cadence); an
+        # OS could poll faster at the cost of more scheduler work.
+        self.review_interval_ns = review_interval_ns
+        self._strikes: dict[int, int] = {}
+        self.killed_threads: set[int] = set()
+        self._next_review = 0.0
+
+    def attach(self, context: MitigationContext) -> None:
+        super().attach(context)
+        if self.review_interval_ns is None:
+            self.review_interval_ns = self.config.epoch_ns
+        self._next_review = self.review_interval_ns
+
+    def on_time_advance(self, now: float) -> None:
+        super().on_time_advance(now)
+        while now >= self._next_review:
+            for thread in range(self.context.num_threads):
+                if thread in self.killed_threads:
+                    continue
+                if self.thread_max_rhli(thread) >= self.kill_rhli:
+                    strikes = self._strikes.get(thread, 0) + 1
+                    self._strikes[thread] = strikes
+                    if strikes >= self.patience_epochs:
+                        self.killed_threads.add(thread)
+                else:
+                    self._strikes[thread] = 0
+            self._next_review += self.review_interval_ns
+
+    def max_inflight_total(self, thread: int) -> int | None:
+        if thread in self.killed_threads:
+            return 0  # descheduled: no further memory requests
+        return super().max_inflight_total(thread)

@@ -1,0 +1,121 @@
+"""AttackThrottler: RHLI tracking and source throttling (Section 3.2).
+
+AttackThrottler maintains, per <thread, bank>, two saturating counters
+of activations to *blacklisted* rows, time-interleaved exactly like the
+D-CBF (one active, one passive; both increment; the active one is
+cleared and roles swap at every epoch boundary).  The RowHammer
+Likelihood Index (Eq. 2) normalizes the active count by the maximum
+number of blacklisted-row activations a BlockHammer-protected system
+permits per CBF lifetime; benign threads sit at exactly 0, attack
+threads race toward (and past, in observe-only mode) 1.
+
+Any thread with nonzero RHLI gets an in-flight request quota that
+shrinks as RHLI grows and reaches zero at RHLI ≥ 1 (a complete block).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import BlockHammerConfig
+from repro.utils.validation import require
+
+
+class AttackThrottler:
+    """Per-<thread, bank> RHLI counters and in-flight quotas."""
+
+    def __init__(
+        self,
+        config: BlockHammerConfig,
+        num_threads: int,
+        num_banks: int,
+        counter_cap: int | None = None,
+    ) -> None:
+        require(num_threads >= 1, "need at least one thread")
+        require(num_banks >= 1, "need at least one bank")
+        self.config = config
+        self.num_threads = num_threads
+        self.num_banks = num_banks
+        # Full-functional mode saturates at NRH*·(tCBF/tREFW) — RHLI
+        # cannot exceed 1 in a protected system.  Observe-only mode uses
+        # unsaturated counters so the un-throttled attack RHLI (>> 1,
+        # Section 3.2.1) is measurable.
+        self.counter_cap = (
+            counter_cap if counter_cap is not None else config.throttler_counter_max
+        )
+        # counters[which][thread][bank]
+        self._counters = [
+            [[0] * num_banks for _ in range(num_threads)] for _ in range(2)
+        ]
+        self._active = 0
+        self._next_clear = config.epoch_ns
+        self.blacklisted_acts_total = 0
+
+    # ------------------------------------------------------------------
+    def maybe_rotate(self, now: float) -> None:
+        """Clear-and-swap in lockstep with the D-CBF epochs."""
+        while now >= self._next_clear:
+            active = self._counters[self._active]
+            for thread_row in active:
+                for bank in range(self.num_banks):
+                    thread_row[bank] = 0
+            self._active = 1 - self._active
+            self._next_clear += self.config.epoch_ns
+
+    def record_blacklisted_act(self, thread: int, bank: int) -> None:
+        """A thread activated a blacklisted row in ``bank``."""
+        cap = self.counter_cap
+        for which in range(2):
+            value = self._counters[which][thread][bank]
+            if value < cap:
+                self._counters[which][thread][bank] = value + 1
+        self.blacklisted_acts_total += 1
+
+    # ------------------------------------------------------------------
+    def rhli(self, thread: int, bank: int) -> float:
+        """RowHammer likelihood index of the <thread, bank> pair (Eq. 2)."""
+        count = self._counters[self._active][thread][bank]
+        return count / self.config.rhli_denominator
+
+    def thread_max_rhli(self, thread: int) -> float:
+        """The thread's largest RHLI across banks (OS-facing summary)."""
+        return max(self.rhli(thread, bank) for bank in range(self.num_banks))
+
+    def rhli_snapshot(self) -> dict[tuple[int, int], float]:
+        """All nonzero <thread, bank> RHLI values (Section 3.2.3: the
+        interface BlockHammer can expose to the operating system)."""
+        out = {}
+        for thread in range(self.num_threads):
+            for bank in range(self.num_banks):
+                value = self.rhli(thread, bank)
+                if value > 0.0:
+                    out[(thread, bank)] = value
+        return out
+
+    # ------------------------------------------------------------------
+    def max_inflight(self, thread: int, bank: int) -> int | None:
+        """In-flight request quota (None = unlimited, 0 = fully blocked).
+
+        The quota shrinks with RHLI — the paper describes it as
+        inversely proportional — and hits a hard zero at RHLI ≥ 1,
+        where continued access could approach the RowHammer threshold.
+        """
+        value = self.rhli(thread, bank)
+        if value <= 0.0:
+            return None
+        if value >= 1.0:
+            return 0
+        return max(1, math.floor(self.config.base_quota * (1.0 - value)))
+
+    def max_inflight_total(self, thread: int) -> int | None:
+        """Quota on the thread's total in-flight requests (Section 3.2:
+        "applying a quota to the thread's total number of in-flight
+        memory requests").  Keyed to the thread's worst per-bank RHLI so
+        a thread hammering many banks cannot monopolize the shared
+        request queues with delayed (RowHammer-unsafe) requests."""
+        value = self.thread_max_rhli(thread)
+        if value <= 0.0:
+            return None
+        if value >= 1.0:
+            return 0
+        return max(1, math.floor(2 * self.config.base_quota * (1.0 - value)))

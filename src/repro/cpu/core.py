@@ -1,0 +1,211 @@
+"""A bounded-MLP trace-replay core model.
+
+Models the paper's cores (3.2 GHz, 4-wide issue, 128-entry instruction
+window) at the fidelity DRAM studies need: compute instructions execute
+at the issue width, reads occupy one of ``max_outstanding`` miss slots
+until their data returns (bounding memory-level parallelism, as the
+instruction window does), and writes are posted (they retire on queue
+acceptance but still occupy DRAM bandwidth).
+
+The core is event-driven: :meth:`wake` makes as much forward progress as
+possible at the current time and reports when it next needs the clock;
+the System calls :meth:`on_complete` when a read returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.cache import SetAssocCache
+from repro.cpu.trace import Trace, TraceRecord
+from repro.dram.address import AddressMapping
+from repro.mem.controller import MemoryController
+from repro.mem.request import Request, RequestKind
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Core microarchitecture knobs (Table 5 defaults)."""
+
+    freq_ghz: float = 3.2
+    issue_width: int = 4
+    max_outstanding: int = 8
+    retry_delay_ns: float = 10.0
+    retry_backoff_max_ns: float = 1000.0
+
+    def __post_init__(self) -> None:
+        require(self.freq_ghz > 0, "frequency must be positive")
+        require(self.issue_width >= 1, "issue width must be >= 1")
+        require(self.max_outstanding >= 1, "MLP must be >= 1")
+
+    @property
+    def ns_per_instruction(self) -> float:
+        """Compute time per instruction at full issue width."""
+        return 1.0 / (self.freq_ghz * self.issue_width)
+
+
+class Core:
+    """One thread's core, replaying a trace against the controller."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        trace: Trace,
+        controller: MemoryController,
+        mapping: AddressMapping,
+        params: CoreParams | None = None,
+        llc: SetAssocCache | None = None,
+    ) -> None:
+        self.thread_id = thread_id
+        self.trace = trace
+        self.controller = controller
+        self.mapping = mapping
+        self.params = params or CoreParams()
+        self.llc = llc
+        self.instructions_target: int | None = None
+        self.instructions_retired = 0
+        self.finish_time: float | None = None
+        self.measure_start = 0.0
+        self._exec_head = 0.0  # virtual execution clock
+        self._outstanding_reads: set[int] = set()
+        self._pending: Request | None = None  # injection-blocked request
+        self._pending_writeback: Request | None = None
+        self._retry_delay = self.params.retry_delay_ns
+        self._trace_done = False
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Target instructions retired and all reads returned."""
+        if self.instructions_target is None:
+            return False
+        return (
+            self.instructions_retired >= self.instructions_target or self._trace_done
+        ) and not self._outstanding_reads
+
+    def _goal_reached(self) -> bool:
+        if self._trace_done:
+            return True
+        if self.instructions_target is None:
+            return False
+        return self.instructions_retired >= self.instructions_target
+
+    # ------------------------------------------------------------------
+    def wake(self, now: float) -> float | None:
+        """Advance the core as far as possible at ``now``.
+
+        Returns the next time the core needs waking, or None when it is
+        blocked waiting for a read completion (or finished).
+        """
+        while True:
+            # Drain any stashed request first: it belongs to already-
+            # retired instructions and must issue even if the retirement
+            # goal has been reached meanwhile.
+            request = self._pending or self._pending_writeback
+            if request is None:
+                if self._goal_reached():
+                    self._maybe_finish(now)
+                    return None
+                fetched = self._fetch_next(now)
+                if fetched is None:
+                    continue  # LLC hit: account and fetch again
+                request = fetched
+            if now < self._exec_head:
+                # Compute phase not finished yet; hold the request.
+                self._stash(request)
+                return self._exec_head
+
+            if not request.is_write and (
+                len(self._outstanding_reads) >= self.params.max_outstanding
+            ):
+                self._stash(request)
+                return None  # wait for a read to return
+
+            request.arrival = now
+            if not self.controller.enqueue(request, now):
+                self._stash(request)
+                delay = self._retry_delay
+                self._retry_delay = min(
+                    self._retry_delay * 2.0, self.params.retry_backoff_max_ns
+                )
+                return now + delay
+
+            # Accepted.
+            self._retry_delay = self.params.retry_delay_ns
+            if request is self._pending:
+                self._pending = None
+            elif request is self._pending_writeback:
+                self._pending_writeback = None
+            if not request.is_write:
+                self._outstanding_reads.add(request.request_id)
+
+    def on_complete(self, request: Request, now: float) -> None:
+        """A read this core issued has returned its data."""
+        self._outstanding_reads.discard(request.request_id)
+        self._maybe_finish(now)
+
+    # ------------------------------------------------------------------
+    def _stash(self, request: Request) -> None:
+        if request.is_write and self._pending is not None:
+            self._pending_writeback = request
+        elif request is not self._pending and request is not self._pending_writeback:
+            self._pending = request
+
+    def _fetch_next(self, now: float) -> Request | None:
+        """Fetch the next trace record, filter it through the LLC.
+
+        Returns a Request to inject, or None when the access hit in the
+        LLC (instructions were still retired).
+        """
+        try:
+            record = self.trace.next_record()
+        except StopIteration:
+            self._trace_done = True
+            self._maybe_finish(now)
+            return None
+        self.instructions_retired += record.gap + 1
+        self._exec_head = (
+            max(self._exec_head, 0.0) + record.gap * self.params.ns_per_instruction
+        )
+        if self.llc is not None:
+            result = self.llc.access(record.address, record.is_write)
+            if result.hit:
+                return None
+            if result.writeback_address is not None:
+                wb = Request(
+                    self.thread_id,
+                    RequestKind.WRITE,
+                    self.mapping.decode(result.writeback_address),
+                    arrival=now,
+                )
+                self._pending_writeback = wb
+            # A write miss allocates the line: the DRAM-side request is a
+            # line fill (read); the dirty data leaves later as writeback.
+            kind = RequestKind.READ
+        else:
+            kind = RequestKind.WRITE if record.is_write else RequestKind.READ
+        return Request(
+            self.thread_id, kind, self.mapping.decode(record.address), arrival=now
+        )
+
+    def _maybe_finish(self, now: float) -> None:
+        if self.finish_time is None and self.done:
+            self.finish_time = now
+
+    # ------------------------------------------------------------------
+    def reset_measurement(self, now: float, target: int | None) -> None:
+        """Zero performance counters after a warmup phase."""
+        self.instructions_retired = 0
+        self.finish_time = None
+        self.measure_start = now
+        self.instructions_target = target
+
+    def ipc(self) -> float:
+        """Retired instructions per *CPU cycle* over the measured span."""
+        if self.finish_time is None:
+            return 0.0
+        span = self.finish_time - self.measure_start
+        if span <= 0.0:
+            return 0.0
+        return self.instructions_retired / (span * self.params.freq_ghz)

@@ -1,0 +1,62 @@
+"""Memory access traces.
+
+A trace is a stream of :class:`TraceRecord` items: ``gap`` instructions
+of pure compute followed by one cache-line access at ``address``.  Cores
+replay traces; workload generators (``repro.workloads``) synthesize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """``gap`` compute instructions, then one access to ``address``."""
+
+    gap: int
+    address: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        require(self.gap >= 0, "instruction gap must be non-negative")
+        require(self.address >= 0, "address must be non-negative")
+
+
+class Trace:
+    """Interface: an endless (or looping) stream of records."""
+
+    def next_record(self) -> TraceRecord:
+        raise NotImplementedError
+
+
+class ListTrace(Trace):
+    """Replays a fixed record list, looping when exhausted."""
+
+    def __init__(self, records: Iterable[TraceRecord], loop: bool = True) -> None:
+        self.records = list(records)
+        require(len(self.records) > 0, "trace must contain at least one record")
+        self.loop = loop
+        self._index = 0
+
+    def next_record(self) -> TraceRecord:
+        if self._index >= len(self.records):
+            if not self.loop:
+                raise StopIteration("trace exhausted")
+            self._index = 0
+        record = self.records[self._index]
+        self._index += 1
+        return record
+
+
+class CallableTrace(Trace):
+    """Wraps a generator function producing records on demand."""
+
+    def __init__(self, fn: Callable[[], TraceRecord]) -> None:
+        self._fn = fn
+
+    def next_record(self) -> TraceRecord:
+        return self._fn()

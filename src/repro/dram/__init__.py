@@ -1,0 +1,38 @@
+"""DRAM device substrate: timing specs, banks, ranks, the RowHammer
+disturbance model, in-DRAM row mappings, and address decoding."""
+
+from repro.dram.spec import DramSpec, DDR4_2400, LPDDR4_3200, DDR3_1600
+from repro.dram.commands import CommandKind, Command
+from repro.dram.bank import Bank
+from repro.dram.rank import Rank
+from repro.dram.device import DramDevice, BitFlipEvent
+from repro.dram.address import AddressMapping, DecodedAddress, MappingScheme
+from repro.dram.rowmap import (
+    RowMapping,
+    LinearRowMapping,
+    MirroredRowMapping,
+    ScrambledRowMapping,
+)
+from repro.dram.rowhammer import DisturbanceModel, DisturbanceProfile
+
+__all__ = [
+    "DramSpec",
+    "DDR4_2400",
+    "LPDDR4_3200",
+    "DDR3_1600",
+    "CommandKind",
+    "Command",
+    "Bank",
+    "Rank",
+    "DramDevice",
+    "BitFlipEvent",
+    "AddressMapping",
+    "DecodedAddress",
+    "MappingScheme",
+    "RowMapping",
+    "LinearRowMapping",
+    "MirroredRowMapping",
+    "ScrambledRowMapping",
+    "DisturbanceModel",
+    "DisturbanceProfile",
+]

@@ -1,0 +1,103 @@
+"""Physical-address-to-DRAM-coordinate mapping.
+
+The memory controller decodes a flat physical byte address into
+(rank, bank, row, column).  The paper's system (Table 5) uses the MOP
+("Minimalist Open Page", Kaseridis et al. [60]) scheme, which interleaves
+small runs of consecutive cache lines across banks to balance row-buffer
+locality against bank-level parallelism.  A simple row:rank:bank:col
+scheme is provided for comparison and testing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.spec import DramSpec
+from repro.utils.validation import require
+
+
+class MappingScheme(enum.Enum):
+    """Supported controller address-interleaving schemes."""
+
+    MOP = "mop"
+    ROW_BANK_COL = "row_bank_col"
+
+
+@dataclass(frozen=True, order=True)
+class DecodedAddress:
+    """DRAM coordinates of one cache-line-sized access."""
+
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+
+class AddressMapping:
+    """Bidirectional mapping between byte addresses and DRAM coordinates.
+
+    MOP layout, from least-significant bits upward::
+
+        [line offset | mop-run column | bank | rank | column-high | row]
+
+    so ``mop_run`` consecutive lines land in the same row of the same
+    bank before the stream moves to the next bank.
+    """
+
+    def __init__(
+        self,
+        spec: DramSpec,
+        scheme: MappingScheme = MappingScheme.MOP,
+        mop_run: int = 4,
+    ) -> None:
+        require(mop_run >= 1, "mop_run must be >= 1")
+        require(spec.columns_per_row % mop_run == 0, "mop_run must divide columns")
+        self.spec = spec
+        self.scheme = scheme
+        self.mop_run = mop_run
+
+    # ------------------------------------------------------------------
+    def decode(self, address: int) -> DecodedAddress:
+        """Decode a byte address into DRAM coordinates."""
+        require(address >= 0, "address must be non-negative")
+        s = self.spec
+        line = address // s.line_bytes
+        if self.scheme is MappingScheme.MOP:
+            low_col = line % self.mop_run
+            line //= self.mop_run
+            bank = line % s.banks_per_rank
+            line //= s.banks_per_rank
+            rank = line % s.ranks
+            line //= s.ranks
+            high_col = line % (s.columns_per_row // self.mop_run)
+            line //= s.columns_per_row // self.mop_run
+            row = line % s.rows_per_bank
+            col = high_col * self.mop_run + low_col
+            return DecodedAddress(rank, bank, row, col)
+        # ROW_BANK_COL: [col | bank | rank | row]
+        col = line % s.columns_per_row
+        line //= s.columns_per_row
+        bank = line % s.banks_per_rank
+        line //= s.banks_per_rank
+        rank = line % s.ranks
+        line //= s.ranks
+        row = line % s.rows_per_bank
+        return DecodedAddress(rank, bank, row, col)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode` (returns a byte address)."""
+        s = self.spec
+        if self.scheme is MappingScheme.MOP:
+            high_col, low_col = divmod(decoded.col, self.mop_run)
+            line = decoded.row
+            line = line * (s.columns_per_row // self.mop_run) + high_col
+            line = line * s.ranks + decoded.rank
+            line = line * s.banks_per_rank + decoded.bank
+            line = line * self.mop_run + low_col
+            return line * s.line_bytes
+        line = decoded.row
+        line = line * s.ranks + decoded.rank
+        line = line * s.banks_per_rank + decoded.bank
+        line = line * s.columns_per_row + decoded.col
+        return line * s.line_bytes

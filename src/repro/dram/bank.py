@@ -1,0 +1,120 @@
+"""Per-bank DRAM state machine and timing bookkeeping.
+
+A bank is either precharged (``open_row is None``) or has one row latched
+in its row buffer.  The bank tracks, per command type, the earliest time
+the next such command may legally issue, which the controller queries to
+schedule commands without per-cycle ticking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CommandKind
+from repro.dram.spec import DramSpec
+
+_FAR_PAST = -1.0e18
+
+
+@dataclass
+class BankStats:
+    """Activation/column counters for one bank."""
+
+    activations: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+
+
+class Bank:
+    """One DRAM bank: open-row state plus next-allowed command times."""
+
+    def __init__(self, spec: DramSpec, rank_id: int, bank_id: int) -> None:
+        self.spec = spec
+        self.rank_id = rank_id
+        self.bank_id = bank_id
+        self.open_row: int | None = None
+        self.next_act = _FAR_PAST
+        self.next_pre = _FAR_PAST
+        self.next_rd = _FAR_PAST
+        self.next_wr = _FAR_PAST
+        self.last_act_time = _FAR_PAST
+        self.stats = BankStats()
+
+    # ------------------------------------------------------------------
+    # Scheduling queries.
+    # ------------------------------------------------------------------
+    def earliest(self, kind: CommandKind) -> float:
+        """Earliest time a command of ``kind`` could issue, bank-local.
+
+        Does not include rank-level constraints (tRRD/tFAW/bus); the
+        :class:`~repro.dram.rank.Rank` layers those on top.
+        """
+        if kind is CommandKind.ACT:
+            return self.next_act
+        if kind is CommandKind.PRE:
+            return self.next_pre
+        if kind is CommandKind.RD:
+            return self.next_rd
+        if kind is CommandKind.WR:
+            return self.next_wr
+        if kind in (CommandKind.REF, CommandKind.VREF):
+            # Refresh-class commands need the bank precharged; they are
+            # gated by next_act like an activation.
+            return self.next_act
+        raise ValueError(f"unsupported command kind {kind}")
+
+    def can_issue(self, kind: CommandKind, row: int, now: float) -> bool:
+        """Whether ``kind`` targeting ``row`` is legal at time ``now``."""
+        if now < self.earliest(kind):
+            return False
+        if kind is CommandKind.ACT:
+            return self.open_row is None
+        if kind is CommandKind.PRE:
+            return self.open_row is not None
+        if kind in (CommandKind.RD, CommandKind.WR):
+            return self.open_row == row
+        if kind in (CommandKind.REF, CommandKind.VREF):
+            return self.open_row is None
+        raise ValueError(f"unsupported command kind {kind}")
+
+    # ------------------------------------------------------------------
+    # State transitions.
+    # ------------------------------------------------------------------
+    def issue(self, kind: CommandKind, row: int, now: float) -> None:
+        """Apply the timing effects of issuing ``kind`` at ``now``.
+
+        The caller is responsible for having checked :meth:`can_issue`.
+        """
+        s = self.spec
+        if kind is CommandKind.ACT:
+            self.open_row = row
+            self.last_act_time = now
+            self.next_rd = max(self.next_rd, now + s.tRCD)
+            self.next_wr = max(self.next_wr, now + s.tRCD)
+            self.next_pre = max(self.next_pre, now + s.tRAS)
+            self.next_act = max(self.next_act, now + s.tRC)
+            self.stats.activations += 1
+        elif kind is CommandKind.PRE:
+            self.open_row = None
+            self.next_act = max(self.next_act, now + s.tRP)
+            self.stats.precharges += 1
+        elif kind is CommandKind.RD:
+            self.next_rd = max(self.next_rd, now + s.tCCD)
+            self.next_wr = max(self.next_wr, now + s.tRTW)
+            self.next_pre = max(self.next_pre, now + s.tRTP)
+            self.stats.reads += 1
+        elif kind is CommandKind.WR:
+            self.next_wr = max(self.next_wr, now + s.tCCD)
+            self.next_rd = max(self.next_rd, now + s.tCWL + s.tBL + s.tWTR)
+            self.next_pre = max(self.next_pre, now + s.tCWL + s.tBL + s.tWR)
+            self.stats.writes += 1
+        elif kind is CommandKind.REF:
+            # All-bank refresh occupies the bank for tRFC.
+            self.next_act = max(self.next_act, now + s.tRFC)
+        elif kind is CommandKind.VREF:
+            # A directed victim-row refresh is an internal ACT+PRE pair
+            # to the victim row: occupies the bank for tRC.
+            self.next_act = max(self.next_act, now + s.tRC)
+        else:
+            raise ValueError(f"unsupported command kind {kind}")

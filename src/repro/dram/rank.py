@@ -1,0 +1,56 @@
+"""Per-rank DRAM timing: tRRD, tFAW, and the shared data bus.
+
+The rank enforces inter-bank activation constraints and models the data
+bus (one column burst at a time per channel).  The paper's RowBlocker-HB
+sizing relies on tFAW bounding the rank activation rate to four ACTs per
+tFAW window (Section 3.1.2), which this class enforces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dram.bank import Bank
+from repro.dram.commands import CommandKind
+from repro.dram.spec import DramSpec
+
+
+class Rank:
+    """A rank: a set of banks plus rank-wide timing state."""
+
+    def __init__(self, spec: DramSpec, rank_id: int) -> None:
+        self.spec = spec
+        self.rank_id = rank_id
+        self.banks = [Bank(spec, rank_id, b) for b in range(spec.banks_per_rank)]
+        self._act_times: deque[float] = deque(maxlen=4)
+        self._last_act = -1.0e18
+
+    # ------------------------------------------------------------------
+    # Rank-level constraints.
+    # ------------------------------------------------------------------
+    def earliest_act(self, now: float) -> float:
+        """Earliest time any ACT may issue in this rank (tRRD + tFAW)."""
+        t = max(now, self._last_act + self.spec.tRRD)
+        if len(self._act_times) == 4:
+            # The 4th-most-recent ACT opens a tFAW window; a 5th ACT must
+            # wait until that window closes.
+            t = max(t, self._act_times[0] + self.spec.tFAW)
+        return t
+
+    def record_act(self, now: float) -> None:
+        """Record an ACT (or VREF, which embeds an ACT) at ``now``."""
+        self._act_times.append(now)
+        self._last_act = now
+
+    def all_banks_precharged(self) -> bool:
+        """True when every bank has a closed row (needed for REF)."""
+        return all(bank.open_row is None for bank in self.banks)
+
+    def earliest_all_precharged(self, now: float) -> float:
+        """Earliest time all banks could be precharged, assuming the
+        controller precharges each open bank as soon as allowed."""
+        t = now
+        for bank in self.banks:
+            if bank.open_row is not None:
+                t = max(t, bank.next_pre + self.spec.tRP)
+        return t

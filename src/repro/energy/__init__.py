@@ -1,0 +1,5 @@
+"""DRAM energy estimation (DRAMPower-like command-count model)."""
+
+from repro.energy.drampower import EnergyModel, EnergyParams, EnergyBreakdown
+
+__all__ = ["EnergyModel", "EnergyParams", "EnergyBreakdown"]

@@ -1,0 +1,91 @@
+"""DRAM energy model in the style of DRAMPower [18].
+
+DRAMPower integrates datasheet IDD currents over command traces; at the
+granularity this study needs, that reduces to a per-command energy for
+each ACT/PRE pair, read burst, write burst, and REF, plus background
+power split between active standby (any row open) and precharge standby.
+Default parameters approximate a DDR4-2400 x64 single-rank DIMM built
+from 8 Gb x8 devices (derived from Micron datasheet IDD values at
+VDD = 1.2 V).
+
+The model consumes a :class:`~repro.sim.stats.SimResult`: command counts
+come from the device, active/precharge standby time from the device's
+rank-level open-bank time integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SimResult
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-command energies (nJ) and background power (W) per rank."""
+
+    act_pre_nj: float = 25.0  # one ACT+PRE pair
+    rd_nj: float = 15.0  # one read burst (64 B)
+    wr_nj: float = 15.5  # one write burst (64 B)
+    ref_nj: float = 260.0  # one all-bank REF
+    vref_nj: float = 25.0  # directed victim refresh (internal ACT+PRE)
+    p_active_standby_w: float = 1.10
+    p_precharge_standby_w: float = 0.65
+
+    def __post_init__(self) -> None:
+        require(self.act_pre_nj >= 0 and self.ref_nj >= 0, "energies must be >= 0")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy by component, all in Joules."""
+
+    act_pre_j: float
+    read_j: float
+    write_j: float
+    refresh_j: float
+    victim_refresh_j: float
+    background_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.act_pre_j
+            + self.read_j
+            + self.write_j
+            + self.refresh_j
+            + self.victim_refresh_j
+            + self.background_j
+        )
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_j * 1e3
+
+
+class EnergyModel:
+    """Computes an :class:`EnergyBreakdown` from a simulation result."""
+
+    def __init__(self, params: EnergyParams | None = None) -> None:
+        self.params = params or EnergyParams()
+
+    def energy_of(self, result: SimResult) -> EnergyBreakdown:
+        """Total DRAM energy for one simulation (benign + attack traffic,
+        matching the paper's DRAM-energy metric)."""
+        p = self.params
+        counts = result.counts
+        active_ns = sum(result.active_time_ns)
+        elapsed_total_ns = result.elapsed_ns * max(1, len(result.active_time_ns))
+        precharge_ns = max(0.0, elapsed_total_ns - active_ns)
+        return EnergyBreakdown(
+            act_pre_j=counts.act * p.act_pre_nj * 1e-9,
+            read_j=counts.rd * p.rd_nj * 1e-9,
+            write_j=counts.wr * p.wr_nj * 1e-9,
+            refresh_j=counts.ref * p.ref_nj * 1e-9,
+            victim_refresh_j=counts.vref * p.vref_nj * 1e-9,
+            background_j=(
+                active_ns * p.p_active_standby_w + precharge_ns * p.p_precharge_standby_w
+            )
+            * 1e-9,
+        )

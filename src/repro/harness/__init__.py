@@ -1,0 +1,8 @@
+"""Experiment harness: scaled-configuration plumbing, workload runners
+with alone-run caching, and per-figure experiment drivers."""
+
+from repro.harness.runner import HarnessConfig, RunOutcome, Runner
+from repro.harness.reporting import format_table
+from repro.harness import experiments
+
+__all__ = ["HarnessConfig", "RunOutcome", "Runner", "format_table", "experiments"]

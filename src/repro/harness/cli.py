@@ -1,0 +1,178 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.harness.cli table1
+    python -m repro.harness.cli security
+    python -m repro.harness.cli fig5 --mixes 2 --scale 128
+    python -m repro.harness.cli rhli
+    python -m repro.harness.cli table4
+
+Each subcommand regenerates one paper table/figure and prints it; the
+benchmarks under ``benchmarks/`` run the same drivers with assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import BlockHammerConfig
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+from repro.harness.runner import HarnessConfig
+from repro.hwcost.mechanisms import table4_rows
+from repro.security.solver import prove_safety
+
+
+def _hcfg(args) -> HarnessConfig:
+    return HarnessConfig(
+        scale=args.scale,
+        paper_nrh=args.nrh,
+        instructions_per_thread=args.instructions,
+        warmup_ns=args.warmup_us * 1000.0,
+    )
+
+
+def cmd_table1(args) -> str:
+    cfg = BlockHammerConfig.for_nrh(args.nrh)
+    return format_table(["parameter", "value"], list(cfg.summary().items()))
+
+
+def cmd_security(args) -> str:
+    rows = []
+    for nrh in (32768, 16384, 8192, 4096, 2048, 1024):
+        proof = prove_safety(BlockHammerConfig.for_nrh(nrh))
+        rows.append(
+            [
+                nrh,
+                int(proof.nrh_star),
+                round(proof.lp_max_activations),
+                round(proof.fast_delayed_max),
+                "SAFE" if proof.safe else "UNSAFE",
+            ]
+        )
+    return format_table(["NRH", "NRH*", "LP max", "window bound", "verdict"], rows)
+
+
+def cmd_table4(args) -> str:
+    rows = [
+        [
+            c.name,
+            c.nrh,
+            round(c.sram_kb, 2),
+            round(c.cam_kb, 2),
+            round(c.total_area_mm2, 3),
+            round(c.access_energy_pj, 1),
+            round(c.static_power_mw, 1),
+        ]
+        for c in table4_rows()
+    ]
+    return format_table(
+        ["mechanism", "NRH", "SRAM KB", "CAM KB", "mm2", "pJ", "mW"], rows
+    )
+
+
+def cmd_fig4(args) -> str:
+    rows = experiments.fig4_singlecore(_hcfg(args), args.apps)
+    means = experiments.fig4_group_means(rows)
+    return format_table(
+        ["category", "mechanism", "norm time", "norm energy"],
+        [
+            [m["category"], m["mechanism"], round(m["norm_time"], 4), round(m["norm_energy"], 4)]
+            for m in means
+        ],
+    )
+
+
+def cmd_fig5(args) -> str:
+    rows = experiments.fig5_multicore(_hcfg(args), num_mixes=args.mixes)
+    summary = experiments.summarize_mix_rows(rows)
+    return format_table(
+        ["scenario", "mechanism", "WS", "HS", "MS", "energy", "flips"],
+        [
+            [
+                s["scenario"],
+                s["mechanism"],
+                round(s["norm_ws_mean"], 3),
+                round(s["norm_hs_mean"], 3),
+                round(s["norm_ms_mean"], 3),
+                round(s["norm_energy_mean"], 3),
+                s["bitflips"],
+            ]
+            for s in summary
+        ],
+    )
+
+
+def cmd_rhli(args) -> str:
+    rows = experiments.rhli_experiment(_hcfg(args), num_mixes=args.mixes)
+    return format_table(
+        ["mode", "attacker mean", "attacker max", "benign max"],
+        [
+            [
+                r["mode"],
+                round(r["attacker_rhli_mean"], 2),
+                round(r["attacker_rhli_max"], 2),
+                round(r["benign_rhli_max"], 4),
+            ]
+            for r in rows
+        ],
+    )
+
+
+def cmd_table8(args) -> str:
+    rows = experiments.table8_calibration(_hcfg(args), args.apps)
+    return format_table(
+        ["app", "cat", "MPKI target", "MPKI", "RBCPKI target", "RBCPKI"],
+        [
+            [
+                r["app"],
+                r["category"],
+                r["target_mpki"],
+                round(r["measured_mpki"], 2),
+                r["target_rbcpki"],
+                round(r["measured_rbcpki"], 2),
+            ]
+            for r in rows
+        ],
+    )
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "security": cmd_security,
+    "table4": cmd_table4,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "rhli": cmd_rhli,
+    "table8": cmd_table8,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate BlockHammer paper tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("--scale", type=float, default=128.0, help="tREFW shrink factor")
+    parser.add_argument("--nrh", type=int, default=32768, help="paper-scale NRH")
+    parser.add_argument("--mixes", type=int, default=1, help="mixes per scenario")
+    parser.add_argument(
+        "--instructions", type=int, default=80_000, help="benign instructions per thread"
+    )
+    parser.add_argument("--warmup-us", type=float, default=50.0, help="warmup time (us)")
+    parser.add_argument(
+        "--apps", nargs="*", default=None, help="application subset (default: all)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    raise SystemExit(main())

@@ -1,0 +1,360 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver returns plain data (lists of row dicts) so benchmarks,
+tests, and examples can share them.  EXPERIMENTS.md records how each
+maps to the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.harness.runner import HarnessConfig, Runner
+from repro.metrics.speedup import MultiprogramMetrics, compute_metrics
+from repro.mitigations.registry import PAPER_MECHANISMS
+from repro.workloads.mixes import ATTACKER_THREAD, WorkloadMix, attack_mixes, benign_mixes
+from repro.workloads.profiles import TABLE8_PROFILES, Category
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — single-core normalized execution time and DRAM energy.
+# ----------------------------------------------------------------------
+def fig4_singlecore(
+    hcfg: HarnessConfig,
+    app_names: list[str] | None = None,
+    mechanisms: list[str] | None = None,
+) -> list[dict]:
+    """Rows: app, category, mechanism, norm_time, norm_energy."""
+    mechanisms = mechanisms or PAPER_MECHANISMS
+    apps = app_names or [p.name for p in TABLE8_PROFILES]
+    runner = Runner(hcfg)
+    rows = []
+    for app in apps:
+        profile = next(p for p in TABLE8_PROFILES if p.name == app)
+        base = runner.run_single(app, "none")
+        base_time = base.result.threads[0].finish_time_ns
+        base_energy = base.energy.total_j
+        for mechanism in mechanisms:
+            outcome = runner.run_single(app, mechanism)
+            rows.append(
+                {
+                    "app": app,
+                    "category": profile.category.value,
+                    "mechanism": mechanism,
+                    "norm_time": outcome.result.threads[0].finish_time_ns / base_time,
+                    "norm_energy": outcome.energy.total_j / base_energy,
+                    "bitflips": outcome.bitflips,
+                }
+            )
+    return rows
+
+
+def fig4_group_means(rows: list[dict]) -> list[dict]:
+    """Aggregate Figure 4 rows by (category, mechanism)."""
+    grouped: dict[tuple[str, str], list[dict]] = {}
+    for row in rows:
+        grouped.setdefault((row["category"], row["mechanism"]), []).append(row)
+    out = []
+    for (category, mechanism), items in sorted(grouped.items()):
+        out.append(
+            {
+                "category": category,
+                "mechanism": mechanism,
+                "norm_time": statistics.mean(r["norm_time"] for r in items),
+                "norm_energy": statistics.mean(r["norm_energy"] for r in items),
+            }
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — multiprogrammed workloads, with and without an attack.
+# ----------------------------------------------------------------------
+@dataclass
+class MixOutcomeRow:
+    """One (mix, mechanism) multiprogrammed data point."""
+
+    mix: str
+    scenario: str  # "no-attack" | "attack"
+    mechanism: str
+    metrics: MultiprogramMetrics
+    norm: MultiprogramMetrics  # normalized to the baseline system
+    norm_energy: float
+    bitflips: int
+    victim_refreshes: int
+
+
+def run_mix_sweep(
+    hcfg: HarnessConfig,
+    mixes: list[WorkloadMix],
+    mechanisms: list[str],
+    scenario: str,
+    runner: Runner | None = None,
+) -> list[MixOutcomeRow]:
+    """Run every (mix, mechanism) pair plus the shared baseline."""
+    runner = runner or Runner(hcfg)
+    rows = []
+    for mix in mixes:
+        base = runner.run_mix(mix, "none")
+        shared, alone = runner.benign_ipc_maps(mix, base)
+        base_metrics = compute_metrics(shared, alone)
+        base_energy = base.energy.total_j
+        for mechanism in mechanisms:
+            outcome = runner.run_mix(mix, mechanism)
+            shared, alone = runner.benign_ipc_maps(mix, outcome)
+            metrics = compute_metrics(shared, alone)
+            rows.append(
+                MixOutcomeRow(
+                    mix=mix.name,
+                    scenario=scenario,
+                    mechanism=mechanism,
+                    metrics=metrics,
+                    norm=metrics.normalized_to(base_metrics),
+                    norm_energy=outcome.energy.total_j / base_energy,
+                    bitflips=outcome.bitflips,
+                    victim_refreshes=outcome.result.victim_refreshes,
+                )
+            )
+    return rows
+
+
+def fig5_multicore(
+    hcfg: HarnessConfig,
+    num_mixes: int = 3,
+    mechanisms: list[str] | None = None,
+) -> list[MixOutcomeRow]:
+    """Both Figure 5 scenarios over ``num_mixes`` mixes each."""
+    mechanisms = mechanisms or PAPER_MECHANISMS
+    runner = Runner(hcfg)
+    rows = run_mix_sweep(
+        hcfg, benign_mixes(num_mixes), mechanisms, "no-attack", runner
+    )
+    rows += run_mix_sweep(
+        hcfg, attack_mixes(num_mixes), mechanisms, "attack", runner
+    )
+    return rows
+
+
+def summarize_mix_rows(rows: list[MixOutcomeRow]) -> list[dict]:
+    """Mean/min/max of normalized metrics by (scenario, mechanism)."""
+    grouped: dict[tuple[str, str], list[MixOutcomeRow]] = {}
+    for row in rows:
+        grouped.setdefault((row.scenario, row.mechanism), []).append(row)
+    out = []
+    for (scenario, mechanism), items in sorted(grouped.items()):
+        ws = [r.norm.weighted_speedup for r in items]
+        hs = [r.norm.harmonic_speedup for r in items]
+        ms = [r.norm.maximum_slowdown for r in items]
+        energy = [r.norm_energy for r in items]
+        out.append(
+            {
+                "scenario": scenario,
+                "mechanism": mechanism,
+                "norm_ws_mean": statistics.mean(ws),
+                "norm_ws_max": max(ws),
+                "norm_hs_mean": statistics.mean(hs),
+                "norm_ms_mean": statistics.mean(ms),
+                "norm_energy_mean": statistics.mean(energy),
+                "bitflips": sum(r.bitflips for r in items),
+            }
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — scaling with worsening RowHammer vulnerability.
+# ----------------------------------------------------------------------
+FIG6_MECHANISMS = ["para", "twice", "graphene", "blockhammer"]
+
+
+def fig6_scaling(
+    hcfg: HarnessConfig,
+    paper_nrh_values: list[int],
+    num_mixes: int = 2,
+    mechanisms: list[str] | None = None,
+) -> list[dict]:
+    """Figure 6: normalized metrics vs NRH, both scenarios."""
+    mechanisms = mechanisms or FIG6_MECHANISMS
+    out = []
+    for paper_nrh in paper_nrh_values:
+        nrh_cfg = hcfg.with_nrh(paper_nrh)
+        rows = fig5_multicore(nrh_cfg, num_mixes, mechanisms)
+        for summary in summarize_mix_rows(rows):
+            summary["paper_nrh"] = paper_nrh
+            out.append(summary)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Section 3.2.1 — RHLI of benign vs attack threads.
+# ----------------------------------------------------------------------
+def rhli_experiment(hcfg: HarnessConfig, num_mixes: int = 2) -> list[dict]:
+    """RHLI statistics in observe-only and full-functional modes."""
+    runner = Runner(hcfg)
+    rows = []
+    for mode in ("blockhammer-observe", "blockhammer"):
+        attacker_rhli = []
+        benign_rhli = []
+        for mix in attack_mixes(num_mixes):
+            outcome = runner.run_mix(mix, mode)
+            mechanism = outcome.mechanism
+            for slot in range(len(mix.app_names)):
+                value = mechanism.thread_max_rhli(slot)
+                if slot in mix.attacker_threads:
+                    attacker_rhli.append(value)
+                else:
+                    benign_rhli.append(value)
+        rows.append(
+            {
+                "mode": mode,
+                "attacker_rhli_mean": statistics.mean(attacker_rhli),
+                "attacker_rhli_max": max(attacker_rhli),
+                "attacker_rhli_min": min(attacker_rhli),
+                "benign_rhli_max": max(benign_rhli),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 8.4 — false positives and delay distribution.
+# ----------------------------------------------------------------------
+def sec84_internals(hcfg: HarnessConfig, num_mixes: int = 2) -> dict:
+    """BlockHammer's false-positive rate and delay percentiles over
+    benign multiprogrammed workloads."""
+    runner = Runner(hcfg)
+    total_acts = 0
+    fp_acts = 0
+    delays: list[float] = []
+    for mix in benign_mixes(num_mixes):
+        outcome = runner.run_mix(mix, "blockhammer")
+        stats = outcome.mechanism.delay_stats()
+        total_acts += stats.total_acts
+        fp_acts += stats.false_positive_acts
+        delays.extend(stats.false_positive_delays_ns)
+    delays.sort()
+
+    def pct(p: float) -> float:
+        if not delays:
+            return 0.0
+        return delays[min(len(delays) - 1, int(p / 100.0 * len(delays)))]
+
+    return {
+        "total_acts": total_acts,
+        "false_positive_acts": fp_acts,
+        "false_positive_rate": fp_acts / total_acts if total_acts else 0.0,
+        "fp_delay_p50_ns": pct(50),
+        "fp_delay_p90_ns": pct(90),
+        "fp_delay_p100_ns": delays[-1] if delays else 0.0,
+        "t_delay_ns": None,  # filled by callers that know the config
+    }
+
+
+# ----------------------------------------------------------------------
+# Table 8 — workload calibration.
+# ----------------------------------------------------------------------
+def table8_calibration(
+    hcfg: HarnessConfig, app_names: list[str] | None = None
+) -> list[dict]:
+    """Measured vs target MPKI/RBCPKI for the benign generator."""
+    runner = Runner(hcfg)
+    apps = app_names or [p.name for p in TABLE8_PROFILES]
+    rows = []
+    for app in apps:
+        profile = next(p for p in TABLE8_PROFILES if p.name == app)
+        outcome = runner.run_single(app, "none")
+        thread = outcome.result.threads[0]
+        rows.append(
+            {
+                "app": app,
+                "category": profile.category.value,
+                "target_mpki": profile.mpki,
+                "measured_mpki": thread.mpki,
+                "target_rbcpki": profile.rbcpki,
+                "measured_rbcpki": thread.rbcpki,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Row-mapping ablation (ours): reactive refresh vs scrambled mapping.
+# ----------------------------------------------------------------------
+def rowmap_ablation(hcfg: HarnessConfig, mechanisms: list[str] | None = None) -> list[dict]:
+    """Attack outcomes when the in-DRAM mapping is scrambled but reactive
+    mechanisms assume a linear mapping (the Section 2.3 challenge).
+
+    Under a scrambled mapping the two "double-sided" aggressors land on
+    unrelated physical rows, so each hammers its own physical neighbors
+    single-sided and needs twice the activations to flip a bit; the run
+    therefore uses a fixed simulated duration long enough for the
+    unprotected attack to succeed.  A ``none`` row is always included to
+    establish that the attack is effective.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.harness.runner import ATTACKER_CORE_PARAMS
+    from repro.workloads.attacks import double_sided_attack
+    from repro.workloads.generator import build_benign_trace
+    from repro.workloads.profiles import profile_by_name
+
+    mechanisms = mechanisms or ["graphene", "para", "blockhammer"]
+    # Duration: a single-sided aggressor at the tFAW-bound per-row rate
+    # needs NRH_sim activations; triple that for scheduling slack.
+    spec_probe = hcfg.spec()
+    per_row_rate = 4.0 / spec_probe.tFAW / (2 * spec_probe.banks_per_rank)
+    duration_ns = 3.0 * hcfg.sim_nrh / per_row_rate
+    scrambled_cfg = dc_replace(
+        hcfg, rowmap_kind="scrambled", max_time_ns=duration_ns, warmup_ns=0.0
+    )
+    runner = Runner(scrambled_cfg)
+    spec = scrambled_cfg.spec()
+    mapping = scrambled_cfg.mapping()
+
+    def build_traces():
+        attack = double_sided_attack(spec, mapping, victim_row=2048)
+        benign = [
+            build_benign_trace(
+                profile_by_name(app), spec, mapping, seed=scrambled_cfg.seed + slot,
+                row_offset=(slot * 8192) % spec.rows_per_bank,
+            )
+            for slot, app in enumerate(["473.astar", "450.soplex", "403.gcc"], start=1)
+        ]
+        return [attack] + benign
+
+    def wrong_linear_adjacency(rank: int, bank: int, row: int, distance: int) -> list[int]:
+        rows = spec.rows_per_bank
+        out = []
+        for k in range(1, distance + 1):
+            if row - k >= 0:
+                out.append(row - k)
+            if row + k < rows:
+                out.append(row + k)
+        return out
+
+    targets = [None, None, None, None]  # fixed-duration run
+    per_thread = [ATTACKER_CORE_PARAMS, None, None, None]
+
+    rows = []
+    for mechanism in ["none"] + mechanisms:
+        oracles = [("true", None), ("assumed-linear", wrong_linear_adjacency)]
+        if mechanism == "none":
+            oracles = [("n/a", None)]
+        for oracle_name, oracle in oracles:
+            outcome = runner.run_traces(
+                build_traces(),
+                mechanism,
+                targets=targets,
+                adjacency_override=oracle,
+                core_params_per_thread=per_thread,
+            )
+            rows.append(
+                {
+                    "mechanism": mechanism,
+                    "adjacency": oracle_name,
+                    "bitflips": outcome.bitflips,
+                    "victim_refreshes": outcome.result.victim_refreshes,
+                }
+            )
+    return rows

@@ -1,0 +1,276 @@
+"""Workload runners with consistent scaled configuration.
+
+A :class:`HarnessConfig` fixes the scaled DRAM spec (DESIGN.md
+substitution 3) and the *paper-scale* RowHammer threshold; everything
+downstream — the disturbance model, every mechanism's context, and
+BlockHammer's Table 7 configuration — sees the consistently-scaled
+``sim_nrh``.  The :class:`Runner` executes single-application and
+multiprogrammed workloads, caching alone-run IPCs (needed by the
+weighted/harmonic speedup and maximum slowdown metrics) per application
+instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.cpu.core import CoreParams
+from repro.dram.address import AddressMapping, MappingScheme
+from repro.dram.rowhammer import DisturbanceProfile
+from repro.dram.spec import DDR4_2400, DramSpec, scaled_threshold
+from repro.energy.drampower import EnergyBreakdown, EnergyModel
+from repro.mitigations.base import AdjacencyOracle, MitigationMechanism
+from repro.mitigations.registry import build_mitigation
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimResult
+from repro.sim.system import System
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.profiles import WorkloadProfile, profile_by_name
+
+#: Attack threads replay a memory-level firehose trace (Section 7), not
+#: a compute-bound core: deep MLP keeps the channel saturated.
+ATTACKER_CORE_PARAMS = CoreParams(max_outstanding=48)
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Scaled experiment configuration.
+
+    ``scale`` divides the refresh window; ``paper_nrh`` is the threshold
+    the experiment models at full scale (e.g. 32K) and ``sim_nrh`` the
+    consistently-scaled value the simulation uses.
+    """
+
+    scale: float = 128.0
+    paper_nrh: int = 32768
+    base_spec: DramSpec = DDR4_2400
+    instructions_per_thread: int = 120_000
+    rowmap_kind: str = "linear"
+    seed: int = 1
+    blast_radius: int = 1
+    blast_decay: float = 0.5
+    max_time_ns: float | None = None
+    # Warmup before measurement (the paper fast-forwards 100M
+    # instructions): long enough for an attacker to be blacklisted and
+    # throttled, so measurements reflect steady state.
+    warmup_ns: float = 50_000.0
+
+    @property
+    def sim_nrh(self) -> int:
+        return scaled_threshold(self.paper_nrh, self.scale)
+
+    @property
+    def paper_nrh_effective(self) -> float:
+        """Paper-scale NRH after the many-sided correction (Eq. 3)."""
+        impact_sum = sum(
+            self.blast_decay ** (k - 1) for k in range(1, self.blast_radius + 1)
+        )
+        return self.paper_nrh / (2.0 * impact_sum)
+
+    def mechanism_kwargs(self, name: str) -> dict:
+        """Per-mechanism construction arguments for this configuration.
+
+        Probabilistic mechanisms tune a *per-activation* probability
+        from NRH; that probability must come from the paper-scale
+        threshold, because shrinking the window (and NRH with it) does
+        not change how often a real PARA fires per ACT.
+        """
+        if self.scale <= 1.0:
+            return {}
+        from repro.mitigations.para import Para
+
+        para_p = Para.tuned_probability(self.paper_nrh_effective)
+        if name == "para":
+            return {"probability": para_p}
+        if name == "mrloc":
+            return {"base_probability": para_p / 2.0}
+        if name == "cbt":
+            # CBT's leaf regions are geometric (rows / 2^levels) and do
+            # not shrink with scaled thresholds; deepen the tree by
+            # log2(scale) so each leaf's activation capacity relative to
+            # its threshold matches the full-scale design.
+            extra = max(0, round(math.log2(self.scale)))
+            return {"levels": 6 + extra, "counter_budget": 125 + 16 * extra}
+        return {}
+
+    def spec(self) -> DramSpec:
+        return self.base_spec.scaled(self.scale)
+
+    def with_nrh(self, paper_nrh: int) -> "HarnessConfig":
+        return replace(self, paper_nrh=paper_nrh)
+
+    def disturbance(self) -> DisturbanceProfile:
+        return DisturbanceProfile(
+            nrh=self.sim_nrh, blast_radius=self.blast_radius, decay=self.blast_decay
+        )
+
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(
+            spec=self.spec(),
+            disturbance=self.disturbance(),
+            rowmap_kind=self.rowmap_kind,
+            seed=self.seed,
+        )
+
+    def mapping(self) -> AddressMapping:
+        return AddressMapping(self.spec(), MappingScheme.MOP)
+
+
+@dataclass
+class RunOutcome:
+    """One simulation's results plus derived energy and the mechanism."""
+
+    mechanism_name: str
+    result: SimResult
+    energy: EnergyBreakdown
+    mechanism: MitigationMechanism
+
+    @property
+    def bitflips(self) -> int:
+        return self.result.total_bitflips
+
+
+class Runner:
+    """Executes workloads under a fixed :class:`HarnessConfig`."""
+
+    def __init__(self, hcfg: HarnessConfig, energy_model: EnergyModel | None = None) -> None:
+        self.hcfg = hcfg
+        self.energy_model = energy_model or EnergyModel()
+        self._alone_ipc_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def _build_system(
+        self,
+        traces,
+        mechanism_name: str,
+        adjacency_override: AdjacencyOracle | None = None,
+        core_params_per_thread: list | None = None,
+        **mechanism_kwargs,
+    ) -> tuple[System, MitigationMechanism]:
+        kwargs = dict(self.hcfg.mechanism_kwargs(mechanism_name))
+        kwargs.update(mechanism_kwargs)
+        mechanism = build_mitigation(mechanism_name, **kwargs)
+        system = System(
+            self.hcfg.system_config(),
+            traces,
+            mechanism,
+            adjacency_override=adjacency_override,
+            core_params_per_thread=core_params_per_thread,
+        )
+        return system, mechanism
+
+    def run_traces(
+        self,
+        traces,
+        mechanism_name: str = "none",
+        targets: int | list[int | None] | None = None,
+        adjacency_override: AdjacencyOracle | None = None,
+        core_params_per_thread: list | None = None,
+        **mechanism_kwargs,
+    ) -> RunOutcome:
+        """Run arbitrary traces under a mechanism."""
+        system, mechanism = self._build_system(
+            traces,
+            mechanism_name,
+            adjacency_override,
+            core_params_per_thread=core_params_per_thread,
+            **mechanism_kwargs,
+        )
+        if targets is None:
+            targets = self.hcfg.instructions_per_thread
+        result = system.run(
+            instructions_per_thread=targets,
+            max_time_ns=self.hcfg.max_time_ns,
+            warmup_ns=self.hcfg.warmup_ns,
+        )
+        return RunOutcome(
+            mechanism_name=mechanism_name,
+            result=result,
+            energy=self.energy_model.energy_of(result),
+            mechanism=mechanism,
+        )
+
+    # ------------------------------------------------------------------
+    def run_single(self, app_name: str, mechanism_name: str = "none") -> RunOutcome:
+        """Single-core run of one Table 8 application (Figure 4)."""
+        profile = profile_by_name(app_name)
+        trace = self._benign_trace(profile, slot=0)
+        return self.run_traces([trace], mechanism_name)
+
+    def run_mix(
+        self,
+        mix: WorkloadMix,
+        mechanism_name: str = "none",
+        adjacency_override: AdjacencyOracle | None = None,
+        **mechanism_kwargs,
+    ) -> RunOutcome:
+        """Multiprogrammed run (Figures 5/6).
+
+        Attacker threads carry no instruction target (they hammer for as
+        long as benign threads run, never gating completion) and use a
+        deep-MLP core so the attack trace saturates the channel like the
+        paper's firehose trace replay does.
+        """
+        spec = self.hcfg.spec()
+        traces = mix.build_traces(spec, self.hcfg.mapping(), seed=self.hcfg.seed)
+        targets: list[int | None] = [
+            None if slot in mix.attacker_threads else self.hcfg.instructions_per_thread
+            for slot in range(len(traces))
+        ]
+        attacker_params = ATTACKER_CORE_PARAMS if mix.attacker_threads else None
+        per_thread = (
+            [
+                attacker_params if slot in mix.attacker_threads else None
+                for slot in range(len(traces))
+            ]
+            if attacker_params
+            else None
+        )
+        return self.run_traces(
+            traces,
+            mechanism_name,
+            targets,
+            adjacency_override,
+            core_params_per_thread=per_thread,
+            **mechanism_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def alone_ipc(self, mix: WorkloadMix, slot: int) -> float:
+        """IPC of the mix's ``slot`` thread running alone on the baseline
+        system (cached across mechanisms and scenarios)."""
+        app = mix.app_names[slot]
+        key = (app, self.hcfg.seed + slot, slot)
+        if key not in self._alone_ipc_cache:
+            profile = profile_by_name(app)
+            trace = self._benign_trace(profile, slot=slot)
+            outcome = self.run_traces([trace], "none")
+            self._alone_ipc_cache[key] = outcome.result.threads[0].ipc
+        return self._alone_ipc_cache[key]
+
+    def benign_ipc_maps(
+        self, mix: WorkloadMix, outcome: RunOutcome
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """(shared, alone) IPC maps over the mix's benign threads."""
+        shared: dict[int, float] = {}
+        alone: dict[int, float] = {}
+        for slot in range(len(mix.app_names)):
+            if slot in mix.attacker_threads:
+                continue
+            shared[slot] = outcome.result.threads[slot].ipc
+            alone[slot] = self.alone_ipc(mix, slot)
+        return shared, alone
+
+    # ------------------------------------------------------------------
+    def _benign_trace(self, profile: WorkloadProfile, slot: int):
+        from repro.workloads.generator import build_benign_trace
+
+        spec = self.hcfg.spec()
+        return build_benign_trace(
+            profile,
+            spec,
+            self.hcfg.mapping(),
+            seed=self.hcfg.seed + slot,
+            row_offset=(slot * 8192) % spec.rows_per_bank,
+        )

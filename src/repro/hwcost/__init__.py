@@ -1,0 +1,23 @@
+"""Hardware cost modeling: SRAM/CAM area, access energy, and static
+power at 65 nm (CACTI-style analytical model), plus per-mechanism
+storage accounting reproducing Table 4."""
+
+from repro.hwcost.models import SramModel, CamModel, StructureCost
+from repro.hwcost.mechanisms import (
+    MechanismCost,
+    blockhammer_cost,
+    mechanism_cost,
+    table4_rows,
+    CPU_DIE_AREA_MM2,
+)
+
+__all__ = [
+    "SramModel",
+    "CamModel",
+    "StructureCost",
+    "MechanismCost",
+    "blockhammer_cost",
+    "mechanism_cost",
+    "table4_rows",
+    "CPU_DIE_AREA_MM2",
+]

@@ -1,0 +1,93 @@
+"""Analytical SRAM/CAM cost models at 65 nm.
+
+The paper evaluates storage cost with CACTI 6.0 [99] and latency with
+Synopsys DC [143].  We substitute a first-order analytical model — area
+linear in bits, access energy growing with array geometry, static power
+linear in bits — with coefficients calibrated against the paper's own
+Table 4 anchor points (BlockHammer's D-CBF for SRAM, Graphene's table
+for CAM).  Because every mechanism's *storage requirement* is computed
+from its actual configuration, the model reproduces Table 4's scaling
+behaviour (NRH = 32K → 1K) by construction rather than by tabulation.
+
+Calibration anchors (Table 4, NRH = 32K):
+
+* D-CBF: 48 KB SRAM → 0.11 mm², 18.11 pJ/access, 19.81 mW static.
+* Graphene: 5.22 KB CAM → 0.04 mm², 40.67 pJ/access, 3.11 mW static.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class StructureCost:
+    """Cost of one storage structure."""
+
+    bits: int
+    area_mm2: float
+    access_energy_pj: float
+    static_power_mw: float
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bits / 8.0 / 1024.0
+
+    def __add__(self, other: "StructureCost") -> "StructureCost":
+        return StructureCost(
+            bits=self.bits + other.bits,
+            area_mm2=self.area_mm2 + other.area_mm2,
+            access_energy_pj=self.access_energy_pj + other.access_energy_pj,
+            static_power_mw=self.static_power_mw + other.static_power_mw,
+        )
+
+
+ZERO_COST = StructureCost(0, 0.0, 0.0, 0.0)
+
+
+class SramModel:
+    """SRAM arrays: area and leakage linear in bits; access energy grows
+    with wordline/bitline geometry (~sqrt of bits)."""
+
+    # Calibrated against the D-CBF anchor: 48 KB = 393,216 bits.
+    AREA_MM2_PER_BIT = 0.11 / 393_216
+    STATIC_MW_PER_BIT = 19.81 / 393_216
+    ACCESS_PJ_COEFF = 18.11 / math.sqrt(393_216)
+
+    @classmethod
+    def cost(cls, bits: int) -> StructureCost:
+        require(bits >= 0, "bits must be non-negative")
+        if bits == 0:
+            return ZERO_COST
+        return StructureCost(
+            bits=bits,
+            area_mm2=bits * cls.AREA_MM2_PER_BIT,
+            access_energy_pj=cls.ACCESS_PJ_COEFF * math.sqrt(bits),
+            static_power_mw=bits * cls.STATIC_MW_PER_BIT,
+        )
+
+
+class CamModel:
+    """Content-addressable arrays: a search touches every bit, so access
+    energy is linear in bits; match-line/cell overheads make area and
+    leakage per bit a few times SRAM's."""
+
+    # Calibrated against the Graphene anchor: 5.22 KB = 42,762 bits.
+    AREA_MM2_PER_BIT = 0.04 / 42_762
+    STATIC_MW_PER_BIT = 3.11 / 42_762
+    ACCESS_PJ_PER_BIT = 40.67 / 42_762
+
+    @classmethod
+    def cost(cls, bits: int) -> StructureCost:
+        require(bits >= 0, "bits must be non-negative")
+        if bits == 0:
+            return ZERO_COST
+        return StructureCost(
+            bits=bits,
+            area_mm2=bits * cls.AREA_MM2_PER_BIT,
+            access_energy_pj=bits * cls.ACCESS_PJ_PER_BIT,
+            static_power_mw=bits * cls.STATIC_MW_PER_BIT,
+        )

@@ -1,0 +1,365 @@
+"""The memory controller (Table 5 configuration).
+
+The controller owns the read/write request queues, the FR-FCFS
+scheduler, the refresh manager, and the attached RowHammer mitigation
+mechanism.  It is driven by the simulation engine through :meth:`step`,
+which issues at most one DRAM command per invocation (modeling the
+one-command-per-cycle command bus) and reports when it next needs
+attention, enabling event-driven simulation without per-cycle ticking.
+
+Priority order within a step:
+
+1. overdue auto-refresh (precharge-all then REF),
+2. victim refreshes queued by reactive mitigation mechanisms,
+3. normal requests via the scheduling policy (reads first, writes when
+   draining or when no reads are pending).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.device import DramDevice
+from repro.dram.spec import DramSpec
+from repro.mem.queues import RequestQueue
+from repro.mem.refresh import RefreshManager
+from repro.mem.request import Request, ServiceClass
+from repro.mem.scheduler import FrFcfsPolicy, SchedulingPolicy, Selection
+from repro.mitigations.base import MitigationMechanism, NoMitigation
+from repro.utils.validation import require
+
+_NEVER = 1.0e30
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller sizing and policy knobs (defaults follow Table 5)."""
+
+    read_queue_depth: int = 64
+    write_queue_depth: int = 64
+    write_drain_high: int = 48
+    write_drain_low: int = 16
+
+    def __post_init__(self) -> None:
+        require(0 < self.write_drain_low <= self.write_drain_high, "bad drain marks")
+        require(self.write_drain_high <= self.write_queue_depth, "bad drain marks")
+
+
+@dataclass
+class ThreadMemStats:
+    """Per-thread memory-system statistics."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    activations: int = 0
+    read_latency_sum: float = 0.0
+    read_latency_count: int = 0
+    blocked_injections: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def avg_read_latency(self) -> float:
+        if self.read_latency_count == 0:
+            return 0.0
+        return self.read_latency_sum / self.read_latency_count
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+
+class MemoryController:
+    """One channel's memory controller."""
+
+    def __init__(
+        self,
+        spec: DramSpec,
+        device: DramDevice,
+        mitigation: MitigationMechanism | None = None,
+        policy: SchedulingPolicy | None = None,
+        config: ControllerConfig | None = None,
+        num_threads: int = 1,
+    ) -> None:
+        self.spec = spec
+        self.device = device
+        self.mitigation = mitigation or NoMitigation()
+        self.policy = policy or FrFcfsPolicy()
+        self.config = config or ControllerConfig()
+        self.read_queue = RequestQueue(self.config.read_queue_depth)
+        self.write_queue = RequestQueue(self.config.write_queue_depth)
+        self.refresh = RefreshManager(spec, self.mitigation.refresh_interval_scale())
+        self.num_threads = num_threads
+        self.thread_stats = [ThreadMemStats() for _ in range(num_threads)]
+        self.on_request_complete = None  # set by the System
+        self._write_draining = False
+        # Pending victim refreshes, FIFO per bank: one queue per bank
+        # keeps each scheduling step O(banks) while letting every idle
+        # bank service refreshes in parallel (mechanisms like CBT can
+        # queue hundreds at once).
+        self._vrefs: dict[tuple[int, int], deque[int]] = {}
+        self._pending_vref_count = 0
+        self._inflight: dict[tuple[int, int, int], int] = {}  # (thread, rank, bank)
+        self._inflight_per_thread: dict[int, int] = {}
+        self.vref_count = 0
+        self.commands_issued = 0
+        self.total_enqueued = 0
+
+    # ------------------------------------------------------------------
+    # Request injection (called by cores / the System).
+    # ------------------------------------------------------------------
+    def can_accept(self, request: Request) -> bool:
+        """Whether the request can enter the queues right now.
+
+        Enforces queue capacity plus the mitigation's in-flight quotas,
+        both per <thread, bank> and per thread (AttackThrottler).
+        """
+        queue = self.write_queue if request.is_write else self.read_queue
+        if queue.full:
+            return False
+        total_quota = self.mitigation.max_inflight_total(request.thread)
+        if total_quota is not None and (
+            self._inflight_per_thread.get(request.thread, 0) >= total_quota
+        ):
+            return False
+        quota = self.mitigation.max_inflight(
+            request.thread, request.address.rank, request.address.bank
+        )
+        if quota is None:
+            return True
+        key = (request.thread, request.address.rank, request.address.bank)
+        return self._inflight.get(key, 0) < quota
+
+    def enqueue(self, request: Request, now: float) -> bool:
+        """Insert a request; returns False (and counts it) if rejected."""
+        if not self.can_accept(request):
+            self.thread_stats[request.thread].blocked_injections += 1
+            return False
+        queue = self.write_queue if request.is_write else self.read_queue
+        queue.push(request)
+        self.total_enqueued += 1
+        key = (request.thread, request.address.rank, request.address.bank)
+        self._inflight[key] = self._inflight.get(key, 0) + 1
+        self._inflight_per_thread[request.thread] = (
+            self._inflight_per_thread.get(request.thread, 0) + 1
+        )
+        stats = self.thread_stats[request.thread]
+        if request.is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        self._classify(request, stats)
+        return True
+
+    def _classify(self, request: Request, stats: ThreadMemStats) -> None:
+        """Record the row-buffer outcome against arrival-time bank state.
+
+        Arrival-time classification measures the access stream's row
+        locality (the RBCPKI of Table 8) independently of scheduling
+        reorderings, which can split one physical PRE+ACT pair across
+        two requests.
+        """
+        bank = self.device.bank(request.address.rank, request.address.bank)
+        if bank.open_row == request.address.row:
+            request.service_class = ServiceClass.HIT
+            stats.row_hits += 1
+        elif bank.open_row is None:
+            request.service_class = ServiceClass.MISS
+            stats.row_misses += 1
+        else:
+            request.service_class = ServiceClass.CONFLICT
+            stats.row_conflicts += 1
+
+    def inflight_for(self, thread: int, rank: int, bank: int) -> int:
+        """Current in-flight request count for a <thread, bank> pair."""
+        return self._inflight.get((thread, rank, bank), 0)
+
+    # ------------------------------------------------------------------
+    # Main scheduling step.
+    # ------------------------------------------------------------------
+    def step(self, now: float) -> float:
+        """Issue at most one command at ``now``.
+
+        Returns the next time the controller needs attention (``_NEVER``
+        when it is completely idle, in which case the System wakes it on
+        the next arrival).
+        """
+        self.mitigation.on_time_advance(now)
+        for rank_id, bank_id, row in self.mitigation.drain_victim_refreshes():
+            self._vrefs.setdefault((rank_id, bank_id), deque()).append(row)
+            self._pending_vref_count += 1
+
+        # A future REF deadline is a wake source; an already-pending one
+        # is handled by the refresh steps below (whose own bank-timing
+        # estimates provide the wake time).
+        due = self.refresh.earliest_due()
+        wake = due if due > now else _NEVER
+        blocked_ranks = frozenset(
+            r for r in range(self.spec.ranks) if self.refresh.pending(r, now)
+        )
+
+        # 1. Auto-refresh steps for overdue ranks.
+        for rank_id in blocked_ranks:
+            issued, t = self._refresh_step(rank_id, now)
+            if issued:
+                return now + self.spec.tCK
+            wake = min(wake, t)
+
+        # 2. Victim refreshes from reactive mechanisms.
+        if self._pending_vref_count:
+            issued, t = self._vref_step(now, blocked_ranks)
+            if issued:
+                return now + self.spec.tCK
+            wake = min(wake, t)
+
+        # 3. Normal requests.
+        selection = self._select_request_command(now, blocked_ranks)
+        if selection.command is not None:
+            self._issue_for_request(selection.command, selection.request, now)
+            return now + self.spec.tCK
+        wake = min(wake, selection.next_ready)
+        return wake
+
+    def busy(self) -> bool:
+        """True while any request or victim refresh is pending."""
+        return bool(
+            len(self.read_queue) or len(self.write_queue) or self._pending_vref_count
+        )
+
+    # ------------------------------------------------------------------
+    # Refresh handling.
+    # ------------------------------------------------------------------
+    def _refresh_step(self, rank_id: int, now: float) -> tuple[bool, float]:
+        """Advance one overdue rank toward its REF.
+
+        Returns (issued_a_command, next_interesting_time).
+        """
+        rank = self.device.ranks[rank_id]
+        if rank.all_banks_precharged():
+            ready = max(
+                bank.earliest(CommandKind.REF) for bank in rank.banks
+            )
+            if ready <= now:
+                self.device.issue(Command(CommandKind.REF, rank_id, 0), now)
+                self.refresh.on_ref_issued(rank_id, now)
+                self.commands_issued += 1
+                return True, now
+            return False, ready
+        # Precharge open banks, earliest-ready first.
+        best_t = _NEVER
+        for bank in rank.banks:
+            if bank.open_row is None:
+                continue
+            t = bank.earliest(CommandKind.PRE)
+            if t <= now:
+                self.device.issue(
+                    Command(CommandKind.PRE, rank_id, bank.bank_id, bank.open_row), now
+                )
+                self.commands_issued += 1
+                return True, now
+            best_t = min(best_t, t)
+        return False, best_t
+
+    # ------------------------------------------------------------------
+    # Victim-refresh handling.
+    # ------------------------------------------------------------------
+    def _vref_step(self, now: float, blocked_ranks: frozenset[int]) -> tuple[bool, float]:
+        """Service the victim-refresh queues (FIFO per bank)."""
+        best_t = _NEVER
+        for (rank_id, bank_id), queue in self._vrefs.items():
+            if not queue or rank_id in blocked_ranks:
+                continue
+            bank = self.device.bank(rank_id, bank_id)
+            if bank.open_row is not None:
+                cmd = Command(CommandKind.PRE, rank_id, bank_id, bank.open_row)
+            else:
+                cmd = Command(CommandKind.VREF, rank_id, bank_id, queue[0])
+            t = self.device.earliest_issue(cmd, now)
+            if t <= now:
+                self.device.issue(cmd, now)
+                self.commands_issued += 1
+                if cmd.kind is CommandKind.VREF:
+                    queue.popleft()
+                    self._pending_vref_count -= 1
+                    self.vref_count += 1
+                return True, now
+            if t < best_t:
+                best_t = t
+        return False, best_t
+
+    # ------------------------------------------------------------------
+    # Normal request handling.
+    # ------------------------------------------------------------------
+    def _select_request_command(
+        self, now: float, blocked_ranks: frozenset[int]
+    ) -> Selection:
+        """Run the policy over reads/writes per the drain mode."""
+        if len(self.write_queue) >= self.config.write_drain_high:
+            self._write_draining = True
+        elif len(self.write_queue) <= self.config.write_drain_low:
+            self._write_draining = False
+
+        # Writes are served in batches: forced drain above the high
+        # watermark, opportunistic drain when reads are idle and a batch
+        # has accumulated.  Outside those windows, writes never issue
+        # row commands — a lone write's precharge would ping-pong open
+        # rows underneath the read stream.
+        opportunistic = self.read_queue.empty and (
+            len(self.write_queue) >= self.config.write_drain_low
+        )
+        if self._write_draining or opportunistic:
+            sel = self.policy.select(
+                self.write_queue.items, self.device, self.mitigation, now, blocked_ranks
+            )
+            if sel.command is not None:
+                return sel
+            sel2 = self.policy.select(
+                self.read_queue.items, self.device, self.mitigation, now, blocked_ranks
+            )
+            if sel2.command is not None:
+                return sel2
+            return Selection(None, None, min(sel.next_ready, sel2.next_ready))
+
+        sel = self.policy.select(
+            self.read_queue.items, self.device, self.mitigation, now, blocked_ranks
+        )
+        return sel
+
+    def _issue_for_request(self, cmd: Command, request: Request, now: float) -> None:
+        """Commit a policy-selected command and update request state."""
+        self.device.issue(cmd, now)
+        self.commands_issued += 1
+
+        if cmd.kind is CommandKind.ACT:
+            self.thread_stats[request.thread].activations += 1
+            self.mitigation.on_activate(
+                cmd.rank, cmd.bank, cmd.row, request.thread, now
+            )
+        elif cmd.kind in (CommandKind.RD, CommandKind.WR):
+            self._complete_request(request, cmd, now)
+
+    def _complete_request(self, request: Request, cmd: Command, now: float) -> None:
+        """Retire a request whose column command just issued."""
+        queue = self.write_queue if request.is_write else self.read_queue
+        queue.remove(request)
+        key = (request.thread, request.address.rank, request.address.bank)
+        self._inflight[key] -= 1
+        self._inflight_per_thread[request.thread] -= 1
+        if cmd.kind is CommandKind.RD:
+            done = now + self.spec.tCL + self.spec.tBL
+            stats = self.thread_stats[request.thread]
+            stats.read_latency_sum += done - request.arrival
+            stats.read_latency_count += 1
+        else:
+            done = now + self.spec.tCWL + self.spec.tBL
+        request.complete_time = done
+        if self.on_request_complete is not None:
+            self.on_request_complete(request, done)

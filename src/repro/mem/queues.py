@@ -1,0 +1,52 @@
+"""Bounded request queues (Table 5: 64-entry read and write queues)."""
+
+from __future__ import annotations
+
+from repro.mem.request import Request
+from repro.utils.validation import require
+
+
+class RequestQueue:
+    """A FIFO-ordered, capacity-bounded request queue.
+
+    Order is arrival order; FR-FCFS scans it front-to-back so "first
+    ready" ties break toward older requests.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        require(capacity >= 1, "queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: list[Request] = []
+
+    @property
+    def items(self) -> list[Request]:
+        """The queue contents in arrival order (read-only by convention;
+        exposed without copying for the scheduler's hot path)."""
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, request: Request) -> None:
+        """Append ``request``; raises if the queue is full."""
+        require(not self.full, "pushing into a full request queue")
+        self._items.append(request)
+
+    def remove(self, request: Request) -> None:
+        """Remove a serviced request."""
+        self._items.remove(request)
+
+    def requests_for_bank(self, rank: int, bank: int) -> list[Request]:
+        """Queued requests targeting (rank, bank), oldest first."""
+        return [r for r in self._items if r.address.rank == rank and r.address.bank == bank]

@@ -1,0 +1,65 @@
+"""Memory requests as seen by the controller."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.dram.address import DecodedAddress
+
+_request_ids = itertools.count()
+
+
+class RequestKind(enum.Enum):
+    """Read or write (cache-line granularity)."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class ServiceClass(enum.Enum):
+    """Row-buffer outcome of a request, recorded at first service."""
+
+    HIT = "hit"  # row already open
+    MISS = "miss"  # bank closed, ACT needed
+    CONFLICT = "conflict"  # different row open, PRE needed first
+
+
+@dataclass
+class Request:
+    """One cache-line memory request from a thread.
+
+    ``address`` carries the decoded DRAM coordinates.  The controller
+    fills in ``service_class`` when the request first receives a command
+    and ``complete_time`` when its data transfer finishes.
+    """
+
+    thread: int
+    kind: RequestKind
+    address: DecodedAddress
+    arrival: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    service_class: ServiceClass | None = None
+    complete_time: float | None = None
+    is_write: bool = field(init=False)
+    rank: int = field(init=False)
+    bank: int = field(init=False)
+    row: int = field(init=False)
+    col: int = field(init=False)
+    bank_key: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        # Denormalized plain attributes: these are read in the
+        # scheduler's innermost loop, where a property or a nested
+        # dataclass hop per access is measurable.
+        self.is_write = self.kind is RequestKind.WRITE
+        self.rank = self.address.rank
+        self.bank = self.address.bank
+        self.row = self.address.row
+        self.col = self.address.col
+        self.bank_key = (self.rank << 6) | self.bank
+
+    def key(self) -> tuple[int, int]:
+        """(rank, bank) the request targets."""
+        return (self.address.rank, self.address.bank)

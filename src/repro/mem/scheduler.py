@@ -1,0 +1,185 @@
+"""Memory request scheduling policies.
+
+:class:`FrFcfsPolicy` implements FR-FCFS (Rixner et al. [122], the
+paper's Table 5 policy): ready column commands (row-buffer hits) are
+prioritized over row commands, and ties break toward older requests.
+On top of the classic policy, ACT commands are gated by the mitigation
+mechanism (``act_allowed_at``): a RowHammer-unsafe activation is simply
+skipped and younger, safe requests proceed — exactly the "prioritize
+RowHammer-safe accesses" behaviour of Section 3.1.
+
+:class:`FcfsPolicy` (strict arrival order) is included as an ablation.
+
+This is the simulator's hottest code path, so the FR-FCFS implementation
+reads bank timing fields directly instead of constructing trial
+:class:`Command` objects for every candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.device import DramDevice
+from repro.mem.request import Request
+from repro.mitigations.base import MitigationMechanism
+
+_NEVER = 1.0e30
+
+
+@dataclass
+class Selection:
+    """The policy's answer for one scheduling step.
+
+    ``command``/``request`` are set when something can issue exactly at
+    ``now``; ``next_ready`` is the earliest future instant at which any
+    candidate could become issuable (used to schedule the next wake-up).
+    """
+
+    command: Command | None
+    request: Request | None
+    next_ready: float
+
+
+class SchedulingPolicy:
+    """Interface: pick the next command for a set of queued requests."""
+
+    name = "base"
+
+    def select(
+        self,
+        requests: list[Request],
+        device: DramDevice,
+        mitigation: MitigationMechanism,
+        now: float,
+        blocked_ranks: frozenset[int],
+    ) -> Selection:
+        raise NotImplementedError
+
+
+class FrFcfsPolicy(SchedulingPolicy):
+    """First-Ready, First-Come-First-Served with mitigation gating."""
+
+    name = "fr-fcfs"
+
+    def select(
+        self,
+        requests: list[Request],
+        device: DramDevice,
+        mitigation: MitigationMechanism,
+        now: float,
+        blocked_ranks: frozenset[int],
+    ) -> Selection:
+        next_ready = _NEVER
+        spec = device.spec
+        ranks = device.ranks
+        flat_banks = device.flat_banks
+        bus_free = device.bus_free
+        rd_bus_ready = bus_free - spec.tCL
+        wr_bus_ready = bus_free - spec.tCWL
+
+        # Pass 1 — ready column commands (row-buffer hits), oldest first.
+        # ``hit_banks`` doubles as the don't-precharge set for pass 2.
+        hit_banks: set[int] = set()
+        for req in requests:
+            bank = flat_banks[req.bank_key]
+            if bank.open_row != req.row:
+                continue
+            hit_banks.add(req.bank_key)
+            if req.is_write:
+                t = bank.next_wr
+                if wr_bus_ready > t:
+                    t = wr_bus_ready
+                kind = CommandKind.WR
+            else:
+                t = bank.next_rd
+                if rd_bus_ready > t:
+                    t = rd_bus_ready
+                kind = CommandKind.RD
+            if t <= now:
+                return Selection(
+                    Command(kind, req.rank, req.bank, req.row, req.col), req, now
+                )
+            if t < next_ready:
+                next_ready = t
+
+        # Pass 2 — row commands (ACT/PRE) for the oldest *safe* request
+        # per bank.  Banks in refresh drain accept no new row commands.
+        decided: set[int] = set()
+        for req in requests:
+            key = req.bank_key
+            if key in decided or req.rank in blocked_ranks:
+                continue
+            bank = flat_banks[key]
+            open_row = bank.open_row
+            if open_row == req.row:
+                continue  # served by pass 1 when column timing allows
+            allowed = mitigation.act_allowed_at(req.rank, req.bank, req.row, req.thread, now)
+            if allowed > now:
+                # RowHammer-unsafe: skip this request, let younger safe
+                # requests to the same bank proceed; remember the wake.
+                if allowed < next_ready:
+                    next_ready = allowed
+                continue
+            decided.add(key)
+            if open_row is None:
+                t = bank.next_act
+                rank_t = ranks[req.rank].earliest_act(now)
+                if rank_t > t:
+                    t = rank_t
+                if t <= now:
+                    return Selection(
+                        Command(CommandKind.ACT, req.rank, req.bank, req.row), req, now
+                    )
+                if t < next_ready:
+                    next_ready = t
+            else:
+                # Conflict: precharge, but never underneath pending hits.
+                if key in hit_banks:
+                    continue
+                t = bank.next_pre
+                if t <= now:
+                    return Selection(
+                        Command(CommandKind.PRE, req.rank, req.bank, open_row), req, now
+                    )
+                if t < next_ready:
+                    next_ready = t
+
+        return Selection(None, None, next_ready)
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """Strict arrival-order scheduling (ablation reference)."""
+
+    name = "fcfs"
+
+    def select(
+        self,
+        requests: list[Request],
+        device: DramDevice,
+        mitigation: MitigationMechanism,
+        now: float,
+        blocked_ranks: frozenset[int],
+    ) -> Selection:
+        if not requests:
+            return Selection(None, None, _NEVER)
+        # Strict FCFS: only the head request is ever considered.
+        req = requests[0]
+        a = req.address
+        bank = device.bank(a.rank, a.bank)
+        if bank.open_row == a.row:
+            kind = CommandKind.WR if req.is_write else CommandKind.RD
+            cmd = Command(kind, a.rank, a.bank, a.row, a.col)
+        elif a.rank in blocked_ranks:
+            return Selection(None, None, _NEVER)
+        elif bank.open_row is None:
+            allowed = mitigation.act_allowed_at(a.rank, a.bank, a.row, req.thread, now)
+            if allowed > now:
+                return Selection(None, None, allowed)
+            cmd = Command(CommandKind.ACT, a.rank, a.bank, a.row)
+        else:
+            cmd = Command(CommandKind.PRE, a.rank, a.bank, bank.open_row)
+        t = device.earliest_issue(cmd, now)
+        if t <= now:
+            return Selection(cmd, req, now)
+        return Selection(None, None, t)

@@ -1,0 +1,20 @@
+"""System-level performance metrics (Section 7)."""
+
+from repro.metrics.speedup import (
+    weighted_speedup,
+    harmonic_speedup,
+    maximum_slowdown,
+    MultiprogramMetrics,
+    compute_metrics,
+)
+from repro.metrics.workload_stats import measured_mpki, measured_rbcpki
+
+__all__ = [
+    "weighted_speedup",
+    "harmonic_speedup",
+    "maximum_slowdown",
+    "MultiprogramMetrics",
+    "compute_metrics",
+    "measured_mpki",
+    "measured_rbcpki",
+]

@@ -1,0 +1,15 @@
+"""Workload characterization metrics (Table 8 columns)."""
+
+from __future__ import annotations
+
+from repro.sim.stats import SimResult
+
+
+def measured_mpki(result: SimResult, thread: int = 0) -> float:
+    """Memory accesses (LLC misses) per kilo-instruction for a thread."""
+    return result.threads[thread].mpki
+
+
+def measured_rbcpki(result: SimResult, thread: int = 0) -> float:
+    """Row-buffer conflicts per kilo-instruction for a thread."""
+    return result.threads[thread].rbcpki

@@ -1,0 +1,36 @@
+"""RowHammer mitigation mechanisms: the shared controller-side interface,
+the six state-of-the-art baselines evaluated in the paper, and simple
+increased-refresh / naive-throttling references."""
+
+from repro.mitigations.base import (
+    MitigationContext,
+    MitigationMechanism,
+    NoMitigation,
+    VictimRefresh,
+)
+from repro.mitigations.para import Para
+from repro.mitigations.prohit import ProHit
+from repro.mitigations.mrloc import MrLoc
+from repro.mitigations.cbt import CounterBasedTree
+from repro.mitigations.twice import TWiCe
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.refresh_rate import IncreasedRefreshRate
+from repro.mitigations.naive_throttle import NaiveThrottling
+from repro.mitigations.registry import build_mitigation, available_mitigations
+
+__all__ = [
+    "MitigationContext",
+    "MitigationMechanism",
+    "NoMitigation",
+    "VictimRefresh",
+    "Para",
+    "ProHit",
+    "MrLoc",
+    "CounterBasedTree",
+    "TWiCe",
+    "Graphene",
+    "IncreasedRefreshRate",
+    "NaiveThrottling",
+    "build_mitigation",
+    "available_mitigations",
+]

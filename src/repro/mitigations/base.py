@@ -1,0 +1,133 @@
+"""The controller-side mitigation interface.
+
+Every RowHammer mitigation mechanism in this repository implements
+:class:`MitigationMechanism`.  The memory controller interacts with a
+mechanism through four hooks:
+
+* :meth:`~MitigationMechanism.act_allowed_at` — proactive throttling:
+  the earliest time an ACT to (rank, bank, row) may issue.  Most
+  mechanisms always answer "now"; BlockHammer's RowBlocker delays
+  blacklisted, recently-activated rows (Section 3.1).
+* :meth:`~MitigationMechanism.on_activate` — observation: called when an
+  ACT actually issues, with the issuing thread.
+* :meth:`~MitigationMechanism.drain_victim_refreshes` — reactive refresh:
+  victim rows the controller must refresh (PARA, PRoHIT, MRLoc, CBT,
+  TWiCe, Graphene).  Requires the adjacency oracle, i.e. knowledge of the
+  in-DRAM row mapping (Section 2.3) — which is the compatibility
+  challenge BlockHammer avoids.
+* :meth:`~MitigationMechanism.max_inflight` — source throttling quota per
+  <thread, bank> (AttackThrottler, Section 3.2.2).
+
+Mechanisms receive a :class:`MitigationContext` at attach time with the
+DRAM spec, thread count, a deterministic RNG, and the adjacency oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dram.spec import DramSpec
+from repro.utils.rng import DeterministicRng
+
+# (rank, bank, logical_row) to refresh.
+VictimRefresh = tuple[int, int, int]
+
+# adjacency(rank, bank, logical_row, distance) -> logical victim rows.
+AdjacencyOracle = Callable[[int, int, int, int], list[int]]
+
+
+@dataclass
+class MitigationContext:
+    """Everything a mechanism may legitimately know at design time."""
+
+    spec: DramSpec
+    num_threads: int
+    rng: DeterministicRng
+    adjacency: AdjacencyOracle
+    # Readily-available chip characterization (Section 9, property 2):
+    # the RowHammer threshold, blast radius and impact factors come from
+    # public characterization studies, not proprietary documentation.
+    nrh: int = 32768
+    blast_radius: int = 1
+    blast_decay: float = 0.5
+
+
+class MitigationMechanism:
+    """Base class; the default implementation never interferes."""
+
+    name = "base"
+    #: Section 9 qualitative properties (Table 6), overridden per class.
+    comprehensive_protection = False
+    commodity_compatible = False
+    scales_with_vulnerability = False
+    deterministic_protection = False
+
+    def __init__(self) -> None:
+        self.context: MitigationContext | None = None
+        self._pending_vrefs: list[VictimRefresh] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def attach(self, context: MitigationContext) -> None:
+        """Bind the mechanism to a system; called once before simulation."""
+        self.context = context
+
+    def on_time_advance(self, now: float) -> None:
+        """Periodic maintenance hook, called once per controller step."""
+
+    # ------------------------------------------------------------------
+    # Proactive throttling.
+    # ------------------------------------------------------------------
+    def act_allowed_at(self, rank: int, bank: int, row: int, thread: int, now: float) -> float:
+        """Earliest time an ACT to (rank, bank, row) may issue (>= now)."""
+        return now
+
+    # ------------------------------------------------------------------
+    # Observation.
+    # ------------------------------------------------------------------
+    def on_activate(self, rank: int, bank: int, row: int, thread: int, now: float) -> None:
+        """Called when an ACT issues."""
+
+    # ------------------------------------------------------------------
+    # Reactive refresh.
+    # ------------------------------------------------------------------
+    def queue_victim_refresh(self, rank: int, bank: int, row: int) -> None:
+        """Internal helper: schedule a victim-row refresh."""
+        self._pending_vrefs.append((rank, bank, row))
+
+    def drain_victim_refreshes(self) -> list[VictimRefresh]:
+        """Return and clear the pending victim-refresh list."""
+        if not self._pending_vrefs:
+            return []
+        out = self._pending_vrefs
+        self._pending_vrefs = []
+        return out
+
+    # ------------------------------------------------------------------
+    # Source throttling.
+    # ------------------------------------------------------------------
+    def max_inflight(self, thread: int, rank: int, bank: int) -> int | None:
+        """In-flight request quota for <thread, bank>; None = unlimited."""
+        return None
+
+    def max_inflight_total(self, thread: int) -> int | None:
+        """Quota on the thread's *total* in-flight requests (Section
+        3.2: AttackThrottler limits both the per-bank and the total
+        in-flight count); None = unlimited."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Refresh-rate adjustment (IncreasedRefreshRate overrides this).
+    # ------------------------------------------------------------------
+    def refresh_interval_scale(self) -> float:
+        """Multiplier on tREFI (1.0 = standard refresh rate)."""
+        return 1.0
+
+
+class NoMitigation(MitigationMechanism):
+    """The unprotected baseline system (paper's normalization target)."""
+
+    name = "none"
+    commodity_compatible = True

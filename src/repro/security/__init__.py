@@ -1,0 +1,22 @@
+"""Security analysis (Section 5): epoch types, attack constraints, the
+infeasibility solver, and adversarial pattern simulation."""
+
+from repro.security.epochs import EpochType, EpochModel
+from repro.security.constraints import AttackConstraints
+from repro.security.solver import SecurityProof, prove_safety
+from repro.security.adversary import (
+    OptimalAttacker,
+    simulate_optimal_attack,
+    max_acts_in_any_window,
+)
+
+__all__ = [
+    "EpochType",
+    "EpochModel",
+    "AttackConstraints",
+    "SecurityProof",
+    "prove_safety",
+    "OptimalAttacker",
+    "simulate_optimal_attack",
+    "max_acts_in_any_window",
+]

@@ -1,0 +1,82 @@
+"""Adversarial activation-pattern simulation.
+
+Complements the analytical proof with a constructive check: an
+:class:`OptimalAttacker` generates the theoretically-worst activation
+schedule against RowBlocker (an NBL-burst at tRC pace at every epoch
+boundary where the row is clean, tDelay-spaced activations otherwise —
+the T2/T4 pattern the epoch analysis identifies as optimal), drives a
+real :class:`~repro.core.rowblocker.RowBlocker` instance with it, and
+measures the maximum activation count any sliding refresh window ever
+contains.  BlockHammer is safe iff that maximum stays below NRH*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import BlockHammerConfig
+from repro.core.rowblocker import RowBlocker
+from repro.utils.rng import DeterministicRng
+
+
+def max_acts_in_any_window(times: list[float], window_ns: float) -> int:
+    """Maximum number of timestamps within any sliding window."""
+    best = 0
+    window: deque[float] = deque()
+    for t in times:
+        window.append(t)
+        while window and window[0] <= t - window_ns:
+            window.popleft()
+        if len(window) > best:
+            best = len(window)
+    return best
+
+
+class OptimalAttacker:
+    """Greedy adversary: activates the target row at every instant
+    RowBlocker permits, as early as permitted."""
+
+    def __init__(self, config: BlockHammerConfig, seed: int = 7) -> None:
+        self.config = config
+        self.rowblocker = RowBlocker(
+            config,
+            num_ranks=1,
+            banks_per_rank=1,
+            rows_per_bank=65536,
+            rng=DeterministicRng(seed),
+        )
+        self.act_times: list[float] = []
+
+    def run(self, duration_ns: float, row: int = 100) -> list[float]:
+        """Hammer ``row`` as fast as RowBlocker allows for ``duration``.
+
+        Greedy earliest-allowed activation is optimal for a single row:
+        delaying an ACT can never increase the number of ACTs that fit
+        in any later window.
+        """
+        now = 0.0
+        t_rc = self.config.t_rc_ns
+        while now < duration_ns:
+            allowed = self.rowblocker.allowed_at(0, 0, row, 0, now)
+            if allowed > now:
+                now = allowed
+                continue
+            self.rowblocker.on_activate(0, 0, row, now)
+            self.act_times.append(now)
+            now += t_rc
+        return self.act_times
+
+
+def simulate_optimal_attack(
+    config: BlockHammerConfig,
+    num_windows: float = 3.0,
+    row: int = 100,
+) -> int:
+    """Max activations the greedy adversary achieves in any tREFW window.
+
+    Runs for ``num_windows`` refresh windows so the sliding-window
+    maximum can straddle epoch boundaries arbitrarily.
+    """
+    attacker = OptimalAttacker(config)
+    times = attacker.run(num_windows * config.t_refw_ns, row=row)
+    return max_acts_in_any_window(times, config.t_refw_ns)

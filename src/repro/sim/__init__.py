@@ -1,0 +1,9 @@
+"""Discrete-event simulation: engine, system configuration, system wiring,
+and result statistics."""
+
+from repro.sim.engine import EventQueue
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimResult, ThreadResult
+from repro.sim.system import System
+
+__all__ = ["EventQueue", "SystemConfig", "SimResult", "ThreadResult", "System"]

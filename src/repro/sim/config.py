@@ -1,0 +1,52 @@
+"""System configuration (Table 5 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import MappingScheme
+from repro.dram.rowhammer import DisturbanceProfile
+from repro.dram.rowmap import (
+    LinearRowMapping,
+    MirroredRowMapping,
+    RowMapping,
+    ScrambledRowMapping,
+)
+from repro.dram.spec import DDR4_2400, DramSpec
+from repro.cpu.core import CoreParams
+from repro.mem.controller import ControllerConfig
+from repro.utils.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a :class:`~repro.sim.system.System`.
+
+    Defaults mirror the paper's Table 5: 3.2 GHz 4-wide cores, 64-entry
+    read/write queues with FR-FCFS and MOP address mapping, one rank of
+    16 banks of DDR4.
+    """
+
+    spec: DramSpec = DDR4_2400
+    mapping_scheme: MappingScheme = MappingScheme.MOP
+    mop_run: int = 4
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    core: CoreParams = field(default_factory=CoreParams)
+    disturbance: DisturbanceProfile = field(default_factory=DisturbanceProfile)
+    rowmap_kind: str = "linear"  # linear | mirrored | scrambled
+    rowmap_seed: int = 0xC0FFEE
+    use_llc: bool = False
+    llc_bytes: int = 16 * 1024 * 1024
+    llc_ways: int = 8
+    seed: int = 1
+
+    def build_rowmap(self) -> RowMapping:
+        """Instantiate the configured in-DRAM row mapping."""
+        rows = self.spec.rows_per_bank
+        if self.rowmap_kind == "linear":
+            return LinearRowMapping(rows)
+        if self.rowmap_kind == "mirrored":
+            return MirroredRowMapping(rows)
+        if self.rowmap_kind == "scrambled":
+            return ScrambledRowMapping(rows, seed=self.rowmap_seed)
+        raise ConfigError(f"unknown rowmap kind: {self.rowmap_kind!r}")

@@ -1,0 +1,39 @@
+"""A minimal discrete-event queue.
+
+Events are ``(time, callback)`` pairs; ties break by insertion order so
+simulations are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """Priority queue of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, callback: Callable[[float], None]) -> None:
+        """Schedule ``callback(time)``."""
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def pop(self) -> tuple[float, Callable[[float], None]]:
+        """Remove and return the earliest ``(time, callback)``."""
+        time, _, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def peek_time(self) -> float | None:
+        """Earliest scheduled time, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,66 @@
+"""Simulation results and derived statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.device import CommandCounts
+from repro.dram.rowhammer import BitFlip
+from repro.mem.controller import ThreadMemStats
+
+
+@dataclass
+class ThreadResult:
+    """Per-thread outcome of one simulation."""
+
+    thread: int
+    instructions: int
+    finish_time_ns: float
+    ipc: float
+    mem: ThreadMemStats
+
+    @property
+    def mpki(self) -> float:
+        """Memory (LLC-miss) accesses per kilo-instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mem.accesses / self.instructions
+
+    @property
+    def rbcpki(self) -> float:
+        """Row-buffer conflicts per kilo-instruction (Table 8 metric)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mem.row_conflicts / self.instructions
+
+
+@dataclass
+class SimResult:
+    """Outcome of one :meth:`System.run` call."""
+
+    mitigation: str
+    threads: list[ThreadResult]
+    elapsed_ns: float
+    counts: CommandCounts
+    active_time_ns: list[float]
+    bitflips: list[BitFlip]
+    refreshes: int
+    victim_refreshes: int
+    commands_issued: int
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.threads)
+
+    @property
+    def total_bitflips(self) -> int:
+        return len(self.bitflips)
+
+    def thread_ipc(self, thread: int) -> float:
+        return self.threads[thread].ipc
+
+    def benign_ipcs(self, attacker_threads: set[int]) -> dict[int, float]:
+        """IPC of every thread not in ``attacker_threads``."""
+        return {
+            t.thread: t.ipc for t in self.threads if t.thread not in attacker_threads
+        }

@@ -1,0 +1,259 @@
+"""System wiring and the event-driven simulation loop.
+
+A :class:`System` assembles the DRAM device, memory controller, cores,
+and the RowHammer mitigation mechanism from a :class:`SystemConfig`, and
+drives them to completion with a discrete-event loop.  Each entity
+(controller, core) is woken only when it can make progress; version
+counters suppress stale wake-ups so the loop never executes an entity
+twice for the same logical event.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.cache import SetAssocCache
+from repro.cpu.core import Core
+from repro.cpu.trace import Trace
+from repro.dram.address import AddressMapping
+from repro.dram.device import DramDevice
+from repro.mem.controller import MemoryController
+from repro.mem.request import Request
+from repro.mem.scheduler import FrFcfsPolicy, SchedulingPolicy
+from repro.mitigations.base import (
+    AdjacencyOracle,
+    MitigationContext,
+    MitigationMechanism,
+    NoMitigation,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.engine import EventQueue
+from repro.sim.stats import SimResult, ThreadResult
+from repro.utils.rng import DeterministicRng
+
+_NEVER = 1.0e30
+
+
+class System:
+    """A complete simulated machine: cores + controller + DRAM."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: list[Trace],
+        mitigation: MitigationMechanism | None = None,
+        policy: SchedulingPolicy | None = None,
+        adjacency_override: AdjacencyOracle | None = None,
+        core_params_per_thread: list | None = None,
+    ) -> None:
+        self.config = config
+        self.rng = DeterministicRng(config.seed)
+        rowmap = config.build_rowmap()
+        self.device = DramDevice(config.spec, rowmap, config.disturbance)
+        self.mitigation = mitigation or NoMitigation()
+        self.mapping = AddressMapping(config.spec, config.mapping_scheme, config.mop_run)
+
+        def true_adjacency(rank: int, bank: int, row: int, distance: int) -> list[int]:
+            # Rank/bank are accepted for interface generality; the row
+            # mapping is uniform across banks in this model.
+            return rowmap.logical_neighbors(row, distance)
+
+        context = MitigationContext(
+            spec=config.spec,
+            num_threads=len(traces),
+            rng=self.rng.fork("mitigation"),
+            adjacency=adjacency_override or true_adjacency,
+            nrh=config.disturbance.nrh,
+            blast_radius=config.disturbance.blast_radius,
+            blast_decay=config.disturbance.decay,
+        )
+        self.mitigation.attach(context)
+
+        self.controller = MemoryController(
+            config.spec,
+            self.device,
+            self.mitigation,
+            policy or FrFcfsPolicy(),
+            config.controller,
+            num_threads=len(traces),
+        )
+        self.controller.on_request_complete = self._on_request_complete
+
+        self.cores: list[Core] = []
+        for thread_id, trace in enumerate(traces):
+            llc = (
+                SetAssocCache(config.llc_bytes, config.llc_ways, config.spec.line_bytes)
+                if config.use_llc
+                else None
+            )
+            params = config.core
+            if core_params_per_thread is not None and core_params_per_thread[thread_id]:
+                params = core_params_per_thread[thread_id]
+            self.cores.append(
+                Core(thread_id, trace, self.controller, self.mapping, params, llc)
+            )
+
+        self._events = EventQueue()
+        self._ctrl_version = 0
+        self._ctrl_scheduled: float | None = None
+        self._core_versions = [0] * len(self.cores)
+        self._core_scheduled: list[float | None] = [None] * len(self.cores)
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # Event scheduling helpers.
+    # ------------------------------------------------------------------
+    def _schedule_ctrl(self, time: float) -> None:
+        if self._ctrl_scheduled is not None and self._ctrl_scheduled <= time:
+            return
+        self._ctrl_version += 1
+        self._ctrl_scheduled = time
+        version = self._ctrl_version
+
+        def fire(now: float) -> None:
+            if version != self._ctrl_version:
+                return
+            self._ctrl_scheduled = None
+            wake = self.controller.step(now)
+            if wake < _NEVER:
+                self._schedule_ctrl(max(wake, now))
+
+        self._events.push(time, fire)
+
+    def _schedule_core(self, index: int, time: float) -> None:
+        scheduled = self._core_scheduled[index]
+        if scheduled is not None and scheduled <= time:
+            return
+        self._core_versions[index] += 1
+        self._core_scheduled[index] = time
+        version = self._core_versions[index]
+
+        def fire(now: float) -> None:
+            if version != self._core_versions[index]:
+                return
+            self._core_scheduled[index] = None
+            enqueued_before = self.controller.total_enqueued
+            wake = self.cores[index].wake(now)
+            if self.controller.total_enqueued != enqueued_before:
+                # Injections created controller work.
+                self._schedule_ctrl(now)
+            if wake is not None:
+                self._schedule_core(index, max(wake, now))
+
+        self._events.push(time, fire)
+
+    def _on_request_complete(self, request: Request, done_time: float) -> None:
+        core = self.cores[request.thread]
+
+        def fire(now: float) -> None:
+            core.on_complete(request, now)
+            self._schedule_core(request.thread, now)
+
+        self._events.push(done_time, fire)
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        instructions_per_thread: int | list[int | None] | None = None,
+        max_time_ns: float | None = None,
+        warmup_ns: float = 0.0,
+    ) -> SimResult:
+        """Simulate until every *required* core retires its instruction
+        target (and its reads drain), or until ``max_time_ns`` of
+        measured time elapses.
+
+        ``instructions_per_thread`` may be a single target for all
+        threads or a per-thread list; threads whose entry is None run as
+        background load (e.g. an attacker that a mitigation may throttle
+        indefinitely) and do not gate completion.
+
+        ``warmup_ns`` runs the system for that long before measurement
+        begins (the paper fast-forwards 100M instructions): performance
+        and energy counters are then reset while *mechanism state* —
+        blacklists, RHLI counters, reactive-refresh tables — carries
+        over, so measurements reflect steady-state behaviour.
+        """
+        if isinstance(instructions_per_thread, list):
+            targets = instructions_per_thread
+        else:
+            targets = [instructions_per_thread] * len(self.cores)
+        warming = warmup_ns > 0.0
+        if not warming:
+            for core, target in zip(self.cores, targets):
+                core.instructions_target = target
+        required = [
+            core for core, target in zip(self.cores, targets) if target is not None
+        ]
+        for index in range(len(self.cores)):
+            self._schedule_core(index, 0.0)
+        self._schedule_ctrl(0.0)
+
+        measure_start = warmup_ns if warming else 0.0
+        while not self._events.empty:
+            if not warming and required and all(core.done for core in required):
+                break
+            next_time = self._events.peek_time()
+            if warming and next_time is not None and next_time > warmup_ns:
+                self._reset_measurement(warmup_ns, targets)
+                warming = False
+                continue
+            if (
+                not warming
+                and max_time_ns is not None
+                and next_time is not None
+                and next_time > measure_start + max_time_ns
+            ):
+                self._now = measure_start + max_time_ns
+                break
+            time, callback = self._events.pop()
+            self._now = time
+            callback(time)
+
+        return self._collect(self._now, measure_start)
+
+    def _reset_measurement(self, now: float, targets: list[int | None]) -> None:
+        """End the warmup phase: zero performance/energy counters while
+        keeping all architectural and mechanism state."""
+        for core, target in zip(self.cores, targets):
+            core.reset_measurement(now, target)
+        from repro.dram.device import CommandCounts
+        from repro.mem.controller import ThreadMemStats
+
+        self.device.finalize_active_time(now)
+        self.device.counts = CommandCounts()
+        self.device.active_time = [0.0] * self.config.spec.ranks
+        self.controller.thread_stats = [
+            ThreadMemStats() for _ in range(len(self.cores))
+        ]
+        self.controller.vref_count = 0
+        self.controller.commands_issued = 0
+
+    # ------------------------------------------------------------------
+    def _collect(self, end_time: float, measure_start: float = 0.0) -> SimResult:
+        self.device.finalize_active_time(end_time)
+        threads = []
+        for core in self.cores:
+            finish = core.finish_time if core.finish_time is not None else end_time
+            span = finish - core.measure_start
+            cycles = span * core.params.freq_ghz
+            ipc = core.instructions_retired / cycles if cycles > 0 else 0.0
+            threads.append(
+                ThreadResult(
+                    thread=core.thread_id,
+                    instructions=core.instructions_retired,
+                    finish_time_ns=span,
+                    ipc=ipc,
+                    mem=self.controller.thread_stats[core.thread_id],
+                )
+            )
+        return SimResult(
+            mitigation=self.mitigation.name,
+            threads=threads,
+            elapsed_ns=end_time - measure_start,
+            counts=self.device.counts,
+            active_time_ns=list(self.device.active_time),
+            bitflips=list(self.device.bitflips),
+            refreshes=sum(self.controller.refresh.refreshes_issued),
+            victim_refreshes=self.controller.vref_count,
+            commands_issued=self.controller.commands_issued,
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: time units, deterministic RNG, validation helpers."""
+
+from repro.utils.units import NS, US, MS, SEC, ns_to_us, ns_to_ms
+from repro.utils.rng import DeterministicRng, splitmix64
+from repro.utils.validation import ConfigError, require
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "ns_to_us",
+    "ns_to_ms",
+    "DeterministicRng",
+    "splitmix64",
+    "ConfigError",
+    "require",
+]

@@ -1,0 +1,13 @@
+"""Validation helpers shared by configuration dataclasses."""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration value is inconsistent or out of range."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigError(message)

@@ -1,0 +1,119 @@
+"""RowHammer attack traces (Section 7, "Attack Model").
+
+The paper's synthetic attack "activates two rows in each bank as
+frequently as possible by alternating between them at every row
+activation (RA, RB, RA, RB, ...)" — a double-sided attack on the row
+between the two aggressors.  We also provide single-sided and
+many-sided (TRRespass-style) variants.  Attack records carry zero
+instruction gap (a tight hammering loop) and are pure reads.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.trace import Trace, TraceRecord
+from repro.dram.address import AddressMapping, DecodedAddress
+from repro.dram.spec import DramSpec
+from repro.utils.validation import require
+
+
+class AttackTrace(Trace):
+    """Cycles through aggressor rows across banks at maximum rate.
+
+    ``aggressors[bank]`` is the list of rows hammered in that bank; the
+    trace alternates rows within a bank on consecutive visits (forcing a
+    row conflict — and hence an ACT — every time) and rotates across
+    banks to saturate rank-level parallelism.
+    """
+
+    def __init__(
+        self,
+        spec: DramSpec,
+        mapping: AddressMapping,
+        aggressors: dict[int, list[int]],
+        rank: int = 0,
+        gap: int = 0,
+    ) -> None:
+        require(len(aggressors) >= 1, "attack needs at least one bank")
+        for rows in aggressors.values():
+            require(len(rows) >= 2, "need >=2 aggressor rows per bank to force ACTs")
+        self.spec = spec
+        self.mapping = mapping
+        self.rank = rank
+        self.gap = gap
+        self.banks = sorted(aggressors)
+        self.aggressors = {bank: list(rows) for bank, rows in aggressors.items()}
+        self._bank_cursor = 0
+        self._row_cursor = {bank: 0 for bank in self.banks}
+
+    def next_record(self) -> TraceRecord:
+        bank = self.banks[self._bank_cursor]
+        self._bank_cursor = (self._bank_cursor + 1) % len(self.banks)
+        rows = self.aggressors[bank]
+        index = self._row_cursor[bank]
+        self._row_cursor[bank] = (index + 1) % len(rows)
+        address = self.mapping.encode(DecodedAddress(self.rank, bank, rows[index], 0))
+        return TraceRecord(gap=self.gap, address=address, is_write=False)
+
+
+def double_sided_attack(
+    spec: DramSpec,
+    mapping: AddressMapping,
+    victim_row: int = 2048,
+    banks: list[int] | None = None,
+) -> AttackTrace:
+    """The paper's attack: hammer victim_row±1 in each bank."""
+    require(1 <= victim_row < spec.rows_per_bank - 1, "victim must have neighbors")
+    banks = banks if banks is not None else list(range(spec.banks_per_rank))
+    aggressors = {bank: [victim_row - 1, victim_row + 1] for bank in banks}
+    return AttackTrace(spec, mapping, aggressors)
+
+
+def single_sided_attack(
+    spec: DramSpec,
+    mapping: AddressMapping,
+    aggressor_row: int = 2048,
+    banks: list[int] | None = None,
+) -> AttackTrace:
+    """Hammer one aggressor, alternating with a far dummy row so each
+    visit forces a row conflict (same-row accesses would just hit the
+    row buffer and never activate)."""
+    banks = banks if banks is not None else list(range(spec.banks_per_rank))
+    dummy = (aggressor_row + spec.rows_per_bank // 2) % spec.rows_per_bank
+    aggressors = {bank: [aggressor_row, dummy] for bank in banks}
+    return AttackTrace(spec, mapping, aggressors)
+
+
+def many_sided_attack(
+    spec: DramSpec,
+    mapping: AddressMapping,
+    first_row: int = 2048,
+    sides: int = 9,
+    banks: list[int] | None = None,
+) -> AttackTrace:
+    """TRRespass-style many-sided attack: ``sides`` aggressors spaced two
+    rows apart (victims interleaved between them)."""
+    require(sides >= 2, "many-sided attack needs >= 2 aggressors")
+    require(
+        first_row + 2 * sides < spec.rows_per_bank,
+        "aggressor range exceeds the bank",
+    )
+    banks = banks if banks is not None else list(range(spec.banks_per_rank))
+    rows = [first_row + 2 * k for k in range(sides)]
+    aggressors = {bank: rows for bank in banks}
+    return AttackTrace(spec, mapping, aggressors)
+
+
+def build_attack_trace(
+    kind: str,
+    spec: DramSpec,
+    mapping: AddressMapping,
+    **kwargs,
+) -> AttackTrace:
+    """Build an attack trace by name: double | single | many."""
+    builders = {
+        "double": double_sided_attack,
+        "single": single_sided_attack,
+        "many": many_sided_attack,
+    }
+    require(kind in builders, f"unknown attack kind {kind!r}")
+    return builders[kind](spec, mapping, **kwargs)

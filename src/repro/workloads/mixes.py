@@ -1,0 +1,92 @@
+"""Multiprogrammed workload mixes (Section 7).
+
+The paper evaluates 125 eight-thread mixes of randomly-chosen benign
+applications, plus 125 mixes where one thread is replaced by a
+double-sided RowHammer attack.  Mixes are deterministic functions of
+their index, so experiments are reproducible and subsets are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.trace import Trace
+from repro.dram.address import AddressMapping
+from repro.dram.spec import DramSpec
+from repro.utils.rng import DeterministicRng
+from repro.workloads.attacks import double_sided_attack
+from repro.workloads.generator import build_benign_trace
+from repro.workloads.profiles import TABLE8_PROFILES
+
+
+#: Thread index that hosts the attack in attack mixes.
+ATTACKER_THREAD = 0
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named multiprogrammed workload."""
+
+    name: str
+    app_names: tuple[str, ...]
+    has_attack: bool
+
+    @property
+    def attacker_threads(self) -> set[int]:
+        return {ATTACKER_THREAD} if self.has_attack else set()
+
+    def build_traces(
+        self, spec: DramSpec, mapping: AddressMapping, seed: int = 1
+    ) -> list[Trace]:
+        """Instantiate the mix's traces against a spec and mapping."""
+        traces: list[Trace] = []
+        for slot, app in enumerate(self.app_names):
+            if app == "attack":
+                traces.append(double_sided_attack(spec, mapping))
+            else:
+                profile = next(p for p in TABLE8_PROFILES if p.name == app)
+                traces.append(
+                    build_benign_trace(
+                        profile,
+                        spec,
+                        mapping,
+                        seed=seed + slot,
+                        # Spread working sets across the row space.
+                        row_offset=(slot * 8192) % spec.rows_per_bank,
+                    )
+                )
+        return traces
+
+
+def _pick_apps(index: int, threads: int, master_seed: int) -> list[str]:
+    rng = DeterministicRng(master_seed).fork(f"mix-{index}")
+    return [rng.choice(TABLE8_PROFILES).name for _ in range(threads)]
+
+
+def benign_mixes(count: int = 125, threads: int = 8, master_seed: int = 2021) -> list[WorkloadMix]:
+    """The paper's "no RowHammer attack" mixes (8 benign threads)."""
+    return [
+        WorkloadMix(
+            name=f"benign-{index:03d}",
+            app_names=tuple(_pick_apps(index, threads, master_seed)),
+            has_attack=False,
+        )
+        for index in range(count)
+    ]
+
+
+def attack_mixes(count: int = 125, threads: int = 8, master_seed: int = 2021) -> list[WorkloadMix]:
+    """The paper's "RowHammer attack present" mixes (1 attacker + 7
+    benign threads)."""
+    mixes = []
+    for index in range(count):
+        apps = _pick_apps(index + 10_000, threads - 1, master_seed)
+        names = ["attack"] + apps
+        mixes.append(
+            WorkloadMix(
+                name=f"attack-{index:03d}",
+                app_names=tuple(names),
+                has_attack=True,
+            )
+        )
+    return mixes

@@ -1,0 +1,43 @@
+"""Shared fixtures: small, fast configurations for unit/integration tests."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.dram.spec import DDR4_2400, DramSpec
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234)
+
+
+@pytest.fixture
+def spec() -> DramSpec:
+    """Full-scale DDR4 spec (for timing math tests)."""
+    return DDR4_2400
+
+
+@pytest.fixture
+def small_spec() -> DramSpec:
+    """A shrunken device for fast simulation tests: 4 banks x 4K rows,
+    1 ms refresh window."""
+    return replace(
+        DDR4_2400.scaled(64),
+        banks_per_rank=4,
+        rows_per_bank=4096,
+    )
+
+
+@pytest.fixture
+def tiny_spec() -> DramSpec:
+    """An even smaller device for microtests: 2 banks x 64 rows."""
+    return replace(
+        DDR4_2400.scaled(256),
+        banks_per_rank=2,
+        rows_per_bank=64,
+        columns_per_row=8,
+    )

@@ -1,0 +1,75 @@
+"""Unit and property tests for address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import AddressMapping, DecodedAddress, MappingScheme
+from repro.dram.spec import DDR4_2400
+
+
+@pytest.fixture(params=[MappingScheme.MOP, MappingScheme.ROW_BANK_COL])
+def mapping(request):
+    return AddressMapping(DDR4_2400, request.param)
+
+
+_CAPACITY = DDR4_2400.capacity_bytes
+
+
+@given(st.integers(min_value=0, max_value=_CAPACITY - 1))
+def test_decode_encode_roundtrip_mop(address):
+    mapping = AddressMapping(DDR4_2400, MappingScheme.MOP)
+    line_address = (address // 64) * 64
+    assert mapping.encode(mapping.decode(line_address)) == line_address
+
+
+@given(st.integers(min_value=0, max_value=_CAPACITY - 1))
+def test_decode_encode_roundtrip_rbc(address):
+    mapping = AddressMapping(DDR4_2400, MappingScheme.ROW_BANK_COL)
+    line_address = (address // 64) * 64
+    assert mapping.encode(mapping.decode(line_address)) == line_address
+
+
+def test_addresses_beyond_capacity_wrap():
+    mapping = AddressMapping(DDR4_2400, MappingScheme.MOP)
+    assert mapping.decode(_CAPACITY) == mapping.decode(0)
+
+
+def test_decode_fields_in_range(mapping):
+    spec = DDR4_2400
+    for address in range(0, 1 << 20, 4096 + 64):
+        d = mapping.decode(address)
+        assert 0 <= d.rank < spec.ranks
+        assert 0 <= d.bank < spec.banks_per_rank
+        assert 0 <= d.row < spec.rows_per_bank
+        assert 0 <= d.col < spec.columns_per_row
+
+
+def test_mop_interleaves_runs_across_banks():
+    mapping = AddressMapping(DDR4_2400, MappingScheme.MOP, mop_run=4)
+    decoded = [mapping.decode(i * 64) for i in range(16)]
+    # First 4 lines in bank 0, next 4 in bank 1, ...
+    assert [d.bank for d in decoded[:8]] == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert all(d.row == decoded[0].row for d in decoded)
+
+
+def test_row_bank_col_keeps_row_contiguous():
+    mapping = AddressMapping(DDR4_2400, MappingScheme.ROW_BANK_COL)
+    spec = DDR4_2400
+    lines_per_row = spec.columns_per_row
+    decoded = [mapping.decode(i * 64) for i in range(lines_per_row)]
+    assert all(d.bank == 0 and d.row == 0 for d in decoded)
+    assert [d.col for d in decoded] == list(range(lines_per_row))
+
+
+def test_encode_specific_coordinate():
+    mapping = AddressMapping(DDR4_2400, MappingScheme.MOP)
+    target = DecodedAddress(rank=0, bank=5, row=1234, col=17)
+    assert mapping.decode(mapping.encode(target)) == target
+
+
+def test_mop_run_must_divide_columns():
+    import pytest as _pytest
+    from repro.utils.validation import ConfigError
+
+    with _pytest.raises(ConfigError):
+        AddressMapping(DDR4_2400, MappingScheme.MOP, mop_run=7)

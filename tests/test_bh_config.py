@@ -1,0 +1,114 @@
+"""Unit tests for BlockHammer configuration math (Eq. 1, Eq. 3, Tables
+1 and 7)."""
+
+import pytest
+
+from repro.core.config import BlockHammerConfig
+from repro.dram.spec import DDR4_2400, LPDDR4_3200
+from repro.utils.units import MS
+from repro.utils.validation import ConfigError
+
+
+def test_table1_values():
+    """The paper's flagship configuration (Table 1)."""
+    cfg = BlockHammerConfig()
+    assert cfg.nrh == 32768
+    assert cfg.nrh_star == pytest.approx(16384.0)  # double-sided Eq. 3
+    assert cfg.nbl == 8192
+    assert cfg.t_cbf_ns == 64 * MS
+    # tDelay ~ 7.7 us (Table 1).
+    assert cfg.t_delay_ns == pytest.approx(7700.0, rel=0.02)
+    # History buffer ~887 entries (Table 1; exact value is a ceil).
+    assert cfg.history_entries in (887, 888)
+
+
+def test_eq3_paper_worst_case():
+    cfg = BlockHammerConfig(blast_radius=6, blast_decay=0.5)
+    assert cfg.nrh_star / cfg.nrh == pytest.approx(0.2539, abs=1e-3)
+
+
+def test_eq3_double_sided():
+    cfg = BlockHammerConfig(blast_radius=1)
+    assert cfg.nrh_star == cfg.nrh / 2
+
+
+def test_eq1_worst_case_schedule_fits_cbf_lifetime():
+    """NBL fast ACTs + tDelay-spaced ACTs exactly exhaust the per-window
+    activation budget — the designed-in property behind Eq. 1."""
+    cfg = BlockHammerConfig()
+    budget = (cfg.t_cbf_ns / cfg.t_refw_ns) * cfg.nrh_star
+    burst_time = cfg.nbl * cfg.t_rc_ns
+    delayed = (cfg.t_cbf_ns - burst_time) / cfg.t_delay_ns
+    assert cfg.nbl + delayed == pytest.approx(budget, rel=1e-9)
+
+
+def test_table7_presets():
+    expected = {
+        32768: (1024, 8192),
+        16384: (1024, 4096),
+        8192: (1024, 2048),
+        4096: (2048, 1024),
+        2048: (4096, 512),
+        1024: (8192, 256),
+    }
+    for nrh, (cbf_size, nbl) in expected.items():
+        cfg = BlockHammerConfig.for_nrh(nrh)
+        assert cfg.cbf_size == cbf_size, nrh
+        assert cfg.nbl == nbl, nrh
+
+
+def test_for_nrh_caps_cbf_size():
+    cfg = BlockHammerConfig.for_nrh(64, max_cbf_size=4096)
+    assert cfg.cbf_size == 4096
+
+
+def test_lpddr4_reduces_tdelay():
+    """tREFW halves in LPDDR4, which allows a smaller tDelay (Sec 3.1.3)."""
+    ddr4 = BlockHammerConfig.for_nrh(32768, DDR4_2400)
+    lp = BlockHammerConfig.for_nrh(32768, LPDDR4_3200)
+    assert lp.t_delay_ns < ddr4.t_delay_ns
+
+
+def test_counter_width_covers_nbl():
+    cfg = BlockHammerConfig()
+    assert (1 << cfg.counter_bits) - 1 >= cfg.nbl
+    assert cfg.counter_max >= cfg.nbl
+
+
+def test_rhli_denominator_table1():
+    cfg = BlockHammerConfig()
+    # NRH* x (tCBF/tREFW) - NBL = 16384 - 8192.
+    assert cfg.rhli_denominator == pytest.approx(8192.0)
+
+
+def test_tdelay_scales_inversely_with_nrh():
+    small = BlockHammerConfig.for_nrh(1024)
+    large = BlockHammerConfig.for_nrh(32768)
+    assert small.t_delay_ns > large.t_delay_ns
+    # NRH=1K: tDelay ~ 64 ms / 256 ~ 250 us.
+    assert small.t_delay_ns == pytest.approx(250_000.0, rel=0.05)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigError):
+        BlockHammerConfig(nbl=20000, nrh=32768)  # NBL >= NRH*
+    with pytest.raises(ConfigError):
+        BlockHammerConfig.for_nrh(4)
+
+
+def test_summary_contains_key_parameters():
+    summary = BlockHammerConfig().summary()
+    assert summary["NRH"] == 32768
+    assert summary["NBL"] == 8192
+    assert summary["tDelay_us"] == pytest.approx(7.7, rel=0.02)
+
+
+def test_scaled_config_preserves_tdelay():
+    """Scaling tREFW and NRH by the same factor keeps tDelay (and hence
+    the attacker's absolute activation-rate cap) unchanged."""
+    full = BlockHammerConfig.for_nrh(32768, DDR4_2400)
+    scaled = BlockHammerConfig.for_nrh(256, DDR4_2400.scaled(128))
+    assert scaled.t_delay_ns == pytest.approx(full.t_delay_ns, rel=0.02)
+    full_rate = full.nrh_star / full.t_refw_ns
+    scaled_rate = scaled.nrh_star / scaled.t_refw_ns
+    assert scaled_rate == pytest.approx(full_rate, rel=0.02)

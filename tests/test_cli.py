@@ -1,0 +1,50 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "NBL" in out and "8192" in out
+
+
+def test_security_command(capsys):
+    assert main(["security"]) == 0
+    out = capsys.readouterr().out
+    assert "SAFE" in out and "UNSAFE" not in out
+
+
+def test_table4_command(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "blockhammer" in out and "graphene" in out
+
+
+def test_table8_command_with_subset(capsys):
+    code = main(
+        [
+            "table8",
+            "--scale", "512",
+            "--instructions", "8000",
+            "--warmup-us", "5",
+            "--apps", "429.mcf",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "429.mcf" in out
+
+
+def test_rhli_command_small(capsys):
+    code = main(["rhli", "--scale", "512", "--instructions", "8000", "--warmup-us", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "blockhammer-observe" in out

@@ -1,0 +1,95 @@
+"""Unit and property tests for the dual counting Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dcbf import DualCountingBloomFilter
+from repro.utils.rng import DeterministicRng
+
+
+def make_dcbf(epoch=100.0, size=256, track_exact=False):
+    return DualCountingBloomFilter(
+        size=size, epoch_ns=epoch, rng=DeterministicRng(11), track_exact=track_exact
+    )
+
+
+def test_insert_counts_in_active(rng):
+    dcbf = make_dcbf()
+    for _ in range(5):
+        dcbf.insert(42)
+    assert dcbf.count(42) >= 5
+
+
+def test_rotation_swaps_and_clears():
+    dcbf = make_dcbf(epoch=100.0)
+    for _ in range(5):
+        dcbf.insert(42)
+    assert dcbf.maybe_rotate(100.0) == 1
+    # The passive filter (now active) still holds the 5 insertions: the
+    # rolling window never forgets the last epoch.
+    assert dcbf.count(42) >= 5
+    assert dcbf.maybe_rotate(200.0) == 1
+    # Two rotations with no new insertions: the count finally drops.
+    assert dcbf.count(42) == 0
+
+
+def test_no_rotation_before_epoch():
+    dcbf = make_dcbf(epoch=100.0)
+    assert dcbf.maybe_rotate(99.9) == 0
+    assert dcbf.epoch_index == 0
+
+
+def test_multiple_missed_epochs_catch_up():
+    dcbf = make_dcbf(epoch=100.0)
+    assert dcbf.maybe_rotate(350.0) == 3
+    assert dcbf.epoch_index == 3
+    assert dcbf.next_clear_at() == pytest.approx(400.0)
+
+
+@given(st.integers(min_value=1, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_no_false_negative_within_epoch(count):
+    """A row inserted N times within the current epoch always tests >= N
+    in the active filter — the property that makes blacklisting sound."""
+    dcbf = make_dcbf(epoch=1000.0)
+    dcbf.maybe_rotate(500.0)  # mid-stream epoch boundary
+    for _ in range(count):
+        dcbf.insert(7)
+    assert dcbf.count(7) >= count
+
+
+def test_rolling_window_spans_two_epochs():
+    dcbf = make_dcbf(epoch=100.0)
+    for _ in range(3):
+        dcbf.insert(5)  # epoch 0
+    dcbf.maybe_rotate(100.0)
+    for _ in range(4):
+        dcbf.insert(5)  # epoch 1
+    # Active filter (cleared at t=0... lived through epochs 0 and 1).
+    assert dcbf.count(5) >= 7
+
+
+def test_exact_shadow_tracks_truth():
+    dcbf = make_dcbf(track_exact=True)
+    for _ in range(6):
+        dcbf.insert(9)
+    assert dcbf.exact_count(9) == 6
+    assert dcbf.count(9) >= dcbf.exact_count(9)
+
+
+def test_exact_shadow_cleared_on_rotation():
+    dcbf = make_dcbf(epoch=100.0, track_exact=True)
+    for _ in range(6):
+        dcbf.insert(9)
+    dcbf.maybe_rotate(100.0)
+    dcbf.maybe_rotate(200.0)
+    assert dcbf.exact_count(9) == 0
+
+
+def test_filters_reseed_independently():
+    dcbf = make_dcbf(epoch=100.0)
+    seeds_a = dcbf.filters[0].hashes.indices(1)
+    seeds_b = dcbf.filters[1].hashes.indices(1)
+    dcbf.maybe_rotate(100.0)  # clears filter 0
+    assert dcbf.filters[0].hashes.indices(1) != seeds_a
+    assert dcbf.filters[1].hashes.indices(1) == seeds_b

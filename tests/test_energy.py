@@ -1,0 +1,70 @@
+"""Unit tests for the DRAM energy model."""
+
+import pytest
+
+from repro.dram.device import CommandCounts
+from repro.energy.drampower import EnergyModel, EnergyParams
+from repro.sim.stats import SimResult
+
+
+def make_result(act=0, rd=0, wr=0, ref=0, vref=0, active_ns=0.0, elapsed_ns=1000.0):
+    counts = CommandCounts(act=act, pre=act, rd=rd, wr=wr, ref=ref, vref=vref)
+    return SimResult(
+        mitigation="none",
+        threads=[],
+        elapsed_ns=elapsed_ns,
+        counts=counts,
+        active_time_ns=[active_ns],
+        bitflips=[],
+        refreshes=ref,
+        victim_refreshes=vref,
+        commands_issued=act + rd + wr + ref,
+    )
+
+
+def test_pure_background_energy():
+    model = EnergyModel(EnergyParams(p_precharge_standby_w=0.5, p_active_standby_w=1.0))
+    breakdown = model.energy_of(make_result(elapsed_ns=1000.0))
+    # 1000 ns of precharge standby at 0.5 W = 0.5 uJ.
+    assert breakdown.background_j == pytest.approx(0.5e-6)
+    assert breakdown.total_j == breakdown.background_j
+
+
+def test_command_energies_accumulate():
+    params = EnergyParams(act_pre_nj=10.0, rd_nj=5.0, wr_nj=6.0, ref_nj=100.0, vref_nj=10.0)
+    model = EnergyModel(params)
+    breakdown = model.energy_of(make_result(act=3, rd=4, wr=2, ref=1, vref=5))
+    assert breakdown.act_pre_j == pytest.approx(30e-9)
+    assert breakdown.read_j == pytest.approx(20e-9)
+    assert breakdown.write_j == pytest.approx(12e-9)
+    assert breakdown.refresh_j == pytest.approx(100e-9)
+    assert breakdown.victim_refresh_j == pytest.approx(50e-9)
+
+
+def test_active_standby_costs_more():
+    model = EnergyModel()
+    idle = model.energy_of(make_result(active_ns=0.0))
+    busy = model.energy_of(make_result(active_ns=1000.0))
+    assert busy.background_j > idle.background_j
+
+
+def test_total_includes_all_components():
+    model = EnergyModel()
+    breakdown = model.energy_of(make_result(act=10, rd=10, wr=5, ref=2, vref=1, active_ns=500.0))
+    parts = (
+        breakdown.act_pre_j
+        + breakdown.read_j
+        + breakdown.write_j
+        + breakdown.refresh_j
+        + breakdown.victim_refresh_j
+        + breakdown.background_j
+    )
+    assert breakdown.total_j == pytest.approx(parts)
+    assert breakdown.total_mj == pytest.approx(parts * 1e3)
+
+
+def test_default_params_plausible():
+    params = EnergyParams()
+    # REF is an order of magnitude above a single ACT+PRE.
+    assert params.ref_nj > 5 * params.act_pre_nj
+    assert params.p_active_standby_w > params.p_precharge_standby_w

@@ -1,0 +1,35 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.engine import EventQueue
+
+
+def test_pops_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(5.0, lambda t: order.append("b"))
+    queue.push(1.0, lambda t: order.append("a"))
+    queue.push(9.0, lambda t: order.append("c"))
+    while not queue.empty:
+        t, callback = queue.pop()
+        callback(t)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    order = []
+    for label in "abc":
+        queue.push(3.0, lambda t, l=label: order.append(l))
+    while not queue.empty:
+        t, cb = queue.pop()
+        cb(t)
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_and_len():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    queue.push(2.0, lambda t: None)
+    queue.push(1.0, lambda t: None)
+    assert queue.peek_time() == 1.0
+    assert len(queue) == 2

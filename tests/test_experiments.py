@@ -1,0 +1,75 @@
+"""Smoke tests for the per-figure experiment drivers.
+
+Tiny configurations: these verify driver plumbing (row shapes,
+normalization, aggregation), not the paper's numbers — the benchmarks
+do that at full fidelity.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    fig4_group_means,
+    fig4_singlecore,
+    fig5_multicore,
+    rhli_experiment,
+    sec84_internals,
+    summarize_mix_rows,
+    table8_calibration,
+)
+from repro.harness.runner import HarnessConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_hcfg():
+    return HarnessConfig(scale=512, instructions_per_thread=8_000, warmup_ns=5_000.0)
+
+
+def test_fig4_driver_rows(tiny_hcfg):
+    rows = fig4_singlecore(tiny_hcfg, ["403.gcc"], mechanisms=["blockhammer"])
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["app"] == "403.gcc"
+    assert row["mechanism"] == "blockhammer"
+    assert row["norm_time"] > 0
+    assert row["norm_energy"] > 0
+
+
+def test_fig4_group_means_aggregates():
+    rows = [
+        {"category": "L", "mechanism": "x", "norm_time": 1.0, "norm_energy": 2.0},
+        {"category": "L", "mechanism": "x", "norm_time": 3.0, "norm_energy": 4.0},
+    ]
+    means = fig4_group_means(rows)
+    assert means == [
+        {"category": "L", "mechanism": "x", "norm_time": 2.0, "norm_energy": 3.0}
+    ]
+
+
+def test_fig5_driver_and_summary(tiny_hcfg):
+    rows = fig5_multicore(tiny_hcfg, num_mixes=1, mechanisms=["blockhammer"])
+    assert len(rows) == 2  # one no-attack + one attack row
+    scenarios = {r.scenario for r in rows}
+    assert scenarios == {"no-attack", "attack"}
+    summary = summarize_mix_rows(rows)
+    assert len(summary) == 2
+    assert all(s["mechanism"] == "blockhammer" for s in summary)
+    assert all(s["norm_ws_mean"] > 0 for s in summary)
+
+
+def test_rhli_driver_shapes(tiny_hcfg):
+    rows = rhli_experiment(tiny_hcfg, num_mixes=1)
+    assert [r["mode"] for r in rows] == ["blockhammer-observe", "blockhammer"]
+    assert all("attacker_rhli_mean" in r for r in rows)
+
+
+def test_sec84_driver_shape(tiny_hcfg):
+    stats = sec84_internals(tiny_hcfg, num_mixes=1)
+    assert stats["total_acts"] > 0
+    assert 0.0 <= stats["false_positive_rate"] <= 1.0
+    assert stats["fp_delay_p100_ns"] >= stats["fp_delay_p50_ns"]
+
+
+def test_table8_driver_shape(tiny_hcfg):
+    rows = table8_calibration(tiny_hcfg, ["429.mcf"])
+    assert rows[0]["app"] == "429.mcf"
+    assert rows[0]["measured_mpki"] > 0

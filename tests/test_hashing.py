@@ -1,0 +1,74 @@
+"""Unit tests for the hash families."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hashing import H3HashFamily, MixHashFamily
+from repro.utils.rng import DeterministicRng
+from repro.utils.validation import ConfigError
+
+
+@pytest.fixture(params=[MixHashFamily, H3HashFamily])
+def family(request):
+    return request.param(k=4, size=1024, rng=DeterministicRng(5))
+
+
+def test_indices_in_range(family):
+    for key in range(0, 70000, 997):
+        for index in family.indices(key):
+            assert 0 <= index < family.size
+
+
+def test_indices_deterministic(family):
+    assert family.indices(12345) == family.indices(12345)
+
+
+def test_reseed_changes_mapping(family):
+    before = family.indices(12345)
+    family.reseed()
+    after = family.indices(12345)
+    assert before != after  # astronomically unlikely to collide on 4 indices
+
+
+def test_k_functions_returned(family):
+    assert len(family.indices(7)) == 4
+
+
+def test_distribution_roughly_uniform(family):
+    counts = [0] * family.size
+    for key in range(4000):
+        for index in family.indices(key):
+            counts[index] += 1
+    # 16000 insertions over 1024 buckets: mean ~15.6; no bucket should
+    # be pathologically hot.
+    assert max(counts) < 60
+
+
+def test_h3_is_linear_over_xor():
+    family = H3HashFamily(k=1, size=1 << 16, rng=DeterministicRng(1), key_bits=16)
+    # H3 over GF(2): h(a ^ b) == h(a) ^ h(b) when size is a power of two.
+    a, b = 0x1234, 0x0F0F
+    ha = family.indices(a)[0]
+    hb = family.indices(b)[0]
+    hab = family.indices(a ^ b)[0]
+    assert hab == ha ^ hb
+
+
+def test_h3_rejects_wide_keys():
+    family = H3HashFamily(k=1, size=64, rng=DeterministicRng(1), key_bits=8)
+    with pytest.raises(ConfigError):
+        family.indices(256)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_mix_family_total(key):
+    family = MixHashFamily(k=2, size=333, rng=DeterministicRng(2))
+    for index in family.indices(key):
+        assert 0 <= index < 333
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        MixHashFamily(k=0, size=16, rng=DeterministicRng(1))
+    with pytest.raises(ConfigError):
+        MixHashFamily(k=1, size=1, rng=DeterministicRng(1))

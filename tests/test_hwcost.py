@@ -1,0 +1,106 @@
+"""Unit tests for the hardware cost model (Table 4)."""
+
+import pytest
+
+from repro.core.config import BlockHammerConfig
+from repro.hwcost.mechanisms import (
+    CPU_DIE_AREA_MM2,
+    blockhammer_cost,
+    mechanism_cost,
+    table4_rows,
+)
+from repro.hwcost.models import CamModel, SramModel
+
+
+def test_sram_calibration_anchor():
+    """48 KB SRAM reproduces the paper's D-CBF anchor point."""
+    cost = SramModel.cost(48 * 1024 * 8)
+    assert cost.area_mm2 == pytest.approx(0.11, rel=1e-6)
+    assert cost.access_energy_pj == pytest.approx(18.11, rel=1e-6)
+    assert cost.static_power_mw == pytest.approx(19.81, rel=1e-6)
+
+
+def test_cam_calibration_anchor():
+    """5.22 KB CAM reproduces the paper's Graphene anchor point."""
+    bits = int(5.22 * 1024 * 8)
+    cost = CamModel.cost(bits)
+    assert cost.area_mm2 == pytest.approx(0.04, rel=1e-2)
+    assert cost.access_energy_pj == pytest.approx(40.67, rel=1e-2)
+    assert cost.static_power_mw == pytest.approx(3.11, rel=1e-2)
+
+
+def test_zero_bits_zero_cost():
+    assert SramModel.cost(0).area_mm2 == 0.0
+    assert CamModel.cost(0).static_power_mw == 0.0
+
+
+def test_cam_costs_more_per_bit_than_sram():
+    assert CamModel.AREA_MM2_PER_BIT > SramModel.AREA_MM2_PER_BIT
+    sram = SramModel.cost(10_000)
+    cam = CamModel.cost(10_000)
+    assert cam.area_mm2 > sram.area_mm2
+
+
+def test_blockhammer_32k_area_fraction_small():
+    cost = blockhammer_cost(32768)
+    # Paper: ~0.06% CPU area; our model lands in the same ballpark.
+    assert cost.cpu_area_percent < 0.5
+    assert 40 < cost.sram_kb < 80  # ~52 KB of SRAM structures
+
+
+def test_blockhammer_cost_computed_from_config():
+    config = BlockHammerConfig.for_nrh(32768)
+    cost = blockhammer_cost(32768, config=config)
+    dcbf_bits = 2 * config.cbf_size * config.counter_bits * 16
+    assert cost.sram.bits > dcbf_bits  # D-CBF plus HB plus throttler
+
+
+def test_scaling_to_1k_matches_paper_shape():
+    """Table 4's key scaling claims at NRH = 1K."""
+    bh = mechanism_cost("blockhammer", 1024)
+    twice = mechanism_cost("twice", 1024)
+    cbt = mechanism_cost("cbt", 1024)
+    graphene = mechanism_cost("graphene", 1024)
+    # TWiCe and CBT area blow up to multiples of BlockHammer's.
+    assert twice.total_area_mm2 > 2.0 * bh.total_area_mm2
+    assert cbt.total_area_mm2 > 1.5 * bh.total_area_mm2
+    # Graphene's access energy is many times BlockHammer's (paper: 9.2x).
+    assert graphene.access_energy_pj > 4.0 * bh.access_energy_pj
+
+
+def test_probabilistic_mechanisms_nearly_free():
+    para = mechanism_cost("para", 32768)
+    prohit = mechanism_cost("prohit", 32768)
+    assert para.total_area_mm2 == 0.0
+    assert prohit.total_area_mm2 < 0.01
+
+
+def test_fixed_design_points_not_scalable():
+    assert mechanism_cost("prohit", 1024) is None
+    assert mechanism_cost("mrloc", 1024) is None
+    assert mechanism_cost("prohit", 32768) is not None
+
+
+def test_twice_cbt_scale_inversely_with_nrh():
+    for name in ("twice", "cbt"):
+        at_32k = mechanism_cost(name, 32768)
+        at_1k = mechanism_cost(name, 1024)
+        assert at_1k.sram_kb == pytest.approx(32 * at_32k.sram_kb, rel=0.01)
+
+
+def test_table4_rows_complete():
+    rows = table4_rows()
+    names_32k = [r.name for r in rows if r.nrh == 32768]
+    names_1k = [r.name for r in rows if r.nrh == 1024]
+    assert len(names_32k) == 7
+    # PRoHIT/MRLoc drop out at 1K (the paper's "x" cells).
+    assert set(names_1k) == {"blockhammer", "para", "cbt", "twice", "graphene"}
+
+
+def test_unknown_mechanism_rejected():
+    with pytest.raises(ValueError):
+        mechanism_cost("nonsense", 32768)
+
+
+def test_cpu_area_reference():
+    assert CPU_DIE_AREA_MM2 > 100

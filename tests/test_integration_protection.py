@@ -1,0 +1,82 @@
+"""End-to-end protection integration tests: the repository's headline
+claims, verified on the full simulator.
+
+These are the slowest tests in the suite (a few seconds each); they use
+a heavily-scaled configuration and reduced instruction targets.
+"""
+
+import pytest
+
+from repro.harness.runner import HarnessConfig, Runner
+from repro.workloads.mixes import attack_mixes
+
+
+@pytest.fixture(scope="module")
+def hcfg():
+    return HarnessConfig(scale=256, instructions_per_thread=40_000, warmup_ns=30_000.0)
+
+
+@pytest.fixture(scope="module")
+def runner(hcfg):
+    return Runner(hcfg)
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return attack_mixes(1)[0]
+
+
+@pytest.fixture(scope="module")
+def baseline(runner, mix):
+    return runner.run_mix(mix, "none")
+
+
+@pytest.fixture(scope="module")
+def blockhammer(runner, mix):
+    return runner.run_mix(mix, "blockhammer")
+
+
+def test_unprotected_attack_flips_bits(baseline):
+    assert baseline.bitflips > 0
+
+
+def test_blockhammer_prevents_all_flips(blockhammer):
+    assert blockhammer.bitflips == 0
+
+
+def test_graphene_prevents_flips_with_refreshes(runner, mix):
+    outcome = runner.run_mix(mix, "graphene")
+    assert outcome.bitflips == 0
+    assert outcome.result.victim_refreshes > 0
+
+
+def test_blockhammer_improves_benign_performance(baseline, blockhammer):
+    """The paper's headline: benign threads run *faster* under attack
+    with BlockHammer than with no mitigation at all."""
+    base_ipc = sum(t.ipc for t in baseline.result.threads[1:])
+    bh_ipc = sum(t.ipc for t in blockhammer.result.threads[1:])
+    assert bh_ipc > base_ipc * 1.05
+
+
+def test_blockhammer_reduces_dram_energy(baseline, blockhammer):
+    assert blockhammer.energy.total_j < baseline.energy.total_j
+
+
+def test_blockhammer_throttles_attacker(baseline, blockhammer):
+    base_acts = baseline.result.threads[0].mem.activations
+    bh_acts = blockhammer.result.threads[0].mem.activations
+    assert bh_acts < base_acts / 2
+
+
+def test_attacker_identified_by_rhli(runner, mix):
+    outcome = runner.run_mix(mix, "blockhammer-observe")
+    mechanism = outcome.mechanism
+    attacker = mechanism.thread_max_rhli(0)
+    benign_max = max(mechanism.thread_max_rhli(t) for t in range(1, 8))
+    assert attacker > 1.0  # paper: >> 1 distinguishes an attack
+    assert benign_max == 0.0  # paper: benign threads stay at exactly 0
+
+
+def test_naive_throttle_also_protects_but_needs_per_row_state(runner, mix):
+    outcome = runner.run_mix(mix, "naive-throttle")
+    assert outcome.bitflips == 0

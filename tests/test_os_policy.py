@@ -1,0 +1,72 @@
+"""Tests for the OS-level RHLI governor (Section 3.2.3 extension)."""
+
+import pytest
+
+from repro.core.os_policy import BlockHammerWithOsPolicy
+from repro.dram.address import AddressMapping, MappingScheme
+from repro.dram.rowhammer import DisturbanceProfile
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.utils.validation import ConfigError
+from repro.workloads.attacks import double_sided_attack
+from repro.workloads.generator import build_benign_trace
+from repro.workloads.profiles import profile_by_name
+
+
+def build_system(small_spec, mechanism):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    attack = double_sided_attack(small_spec, mapping, victim_row=64, banks=[0, 1])
+    benign = build_benign_trace(
+        profile_by_name("429.mcf"), small_spec, mapping, seed=4, row_offset=1024
+    )
+    config = SystemConfig(spec=small_spec, disturbance=DisturbanceProfile(nrh=128))
+    return System(config, [attack, benign], mechanism)
+
+
+def test_governor_kills_attacker_not_benign(small_spec):
+    mechanism = BlockHammerWithOsPolicy(kill_rhli=0.03, patience_epochs=1, review_interval_ns=10_000.0)
+    system = build_system(small_spec, mechanism)
+    result = system.run(instructions_per_thread=[None, 40_000])
+    assert 0 in mechanism.killed_threads  # the attacker
+    assert 1 not in mechanism.killed_threads  # the benign thread
+    assert result.total_bitflips == 0
+
+
+def test_killed_thread_stops_issuing(small_spec):
+    mechanism = BlockHammerWithOsPolicy(kill_rhli=0.03, patience_epochs=1, review_interval_ns=10_000.0)
+    system = build_system(small_spec, mechanism)
+    system.run(instructions_per_thread=[None, 40_000])
+    assert mechanism.max_inflight_total(0) == 0
+    assert mechanism.max_inflight_total(1) is None
+
+
+def test_patience_delays_the_kill(small_spec):
+    patient = BlockHammerWithOsPolicy(kill_rhli=0.03, patience_epochs=500, review_interval_ns=10_000.0)
+    system = build_system(small_spec, patient)
+    system.run(instructions_per_thread=[None, 20_000])
+    # Not enough reviews elapse for 500 strikes: the attacker survives
+    # (still throttled by the ordinary quotas, so still no bit-flips).
+    assert 0 not in patient.killed_threads
+
+
+def test_os_policy_beats_plain_quota_on_attacker_acts(small_spec):
+    from repro.core.blockhammer import BlockHammer
+
+    plain = BlockHammer()
+    plain_system = build_system(small_spec, plain)
+    plain_result = plain_system.run(instructions_per_thread=[None, 40_000])
+
+    governed = BlockHammerWithOsPolicy(kill_rhli=0.03, patience_epochs=1, review_interval_ns=10_000.0)
+    governed_system = build_system(small_spec, governed)
+    governed_result = governed_system.run(instructions_per_thread=[None, 40_000])
+
+    plain_acts = plain_result.threads[0].mem.activations
+    governed_acts = governed_result.threads[0].mem.activations
+    assert governed_acts <= plain_acts
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigError):
+        BlockHammerWithOsPolicy(kill_rhli=0.0)
+    with pytest.raises(ConfigError):
+        BlockHammerWithOsPolicy(patience_epochs=0)

@@ -1,0 +1,116 @@
+"""Cross-module property tests (hypothesis).
+
+These pin the invariants the security argument rests on, across random
+configurations and access patterns.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BlockHammerConfig
+from repro.core.dcbf import DualCountingBloomFilter
+from repro.core.rowblocker import RowBlocker
+from repro.dram.rowhammer import DisturbanceModel, DisturbanceProfile
+from repro.security.adversary import max_acts_in_any_window
+from repro.security.solver import fast_delayed_bound, prove_safety
+from repro.utils.rng import DeterministicRng
+
+
+@given(
+    nbl_exp=st.integers(min_value=3, max_value=8),
+    cbf_exp=st.integers(min_value=8, max_value=12),
+)
+@settings(max_examples=20, deadline=None)
+def test_proof_holds_for_table7_style_configs(nbl_exp, cbf_exp):
+    """Any config following the Table 7 rule (NBL = NRH/4, tCBF = tREFW)
+    is provably safe."""
+    nbl = 1 << nbl_exp
+    config = BlockHammerConfig(
+        nrh=4 * nbl,
+        t_refw_ns=1_000_000.0,
+        t_cbf_ns=1_000_000.0,
+        nbl=nbl,
+        cbf_size=1 << cbf_exp,
+    )
+    proof = prove_safety(config)
+    assert proof.safe
+
+
+@given(st.integers(min_value=3, max_value=9))
+@settings(max_examples=10, deadline=None)
+def test_fast_delayed_bound_equals_budget(nbl_exp):
+    """Eq. 1 makes the fast/delayed worst case land exactly on the
+    per-window activation budget (up to burst-time rounding)."""
+    nbl = 1 << nbl_exp
+    config = BlockHammerConfig(
+        nrh=4 * nbl,
+        t_refw_ns=1_000_000.0,
+        t_cbf_ns=1_000_000.0,
+        nbl=nbl,
+        cbf_size=1024,
+    )
+    bound = fast_delayed_bound(config)
+    assert bound <= config.nrh_star + 1e-6
+    assert bound > 0.95 * config.nrh_star
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.booleans()),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_rowblocker_never_lets_any_pattern_exceed_budget(moves):
+    """Arbitrary interleavings of activations over six rows, always
+    issued at the earliest RowBlocker-permitted time, never put any row
+    above the NRH* budget in any sliding window."""
+    config = BlockHammerConfig(
+        nrh=64, t_refw_ns=20_000.0, t_cbf_ns=20_000.0, nbl=16, cbf_size=512
+    )
+    rb = RowBlocker(config, 1, 1, 4096, rng=DeterministicRng(5))
+    now = 0.0
+    times: dict[int, list[float]] = {}
+    for row, _ in moves:
+        allowed = rb.allowed_at(0, 0, row, 0, now)
+        now = max(now, allowed)
+        rb.on_activate(0, 0, row, now)
+        times.setdefault(row, []).append(now)
+        now += config.t_rc_ns
+    for row, acts in times.items():
+        assert max_acts_in_any_window(acts, config.t_refw_ns) <= config.nrh_star
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_dcbf_active_estimate_dominates_current_epoch_truth(keys):
+    """At any point, the active filter's estimate of a key is at least
+    the key's insertions since the older of the two filters was cleared
+    — the no-false-negative window property."""
+    dcbf = DualCountingBloomFilter(size=256, epoch_ns=1e9, rng=DeterministicRng(4))
+    truth: dict[int, int] = {}
+    for key in keys:
+        dcbf.insert(key)
+        truth[key] = truth.get(key, 0) + 1
+    for key, count in truth.items():
+        assert dcbf.count(key) >= count
+
+
+@given(
+    aggressor=st.integers(min_value=3, max_value=96),
+    acts=st.integers(min_value=1, max_value=200),
+    radius=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_disturbance_symmetry_and_conservation(aggressor, acts, radius):
+    """Hammering distributes identical disturbance to both sides, and a
+    victim's accumulated disturbance equals acts x c_k."""
+    profile = DisturbanceProfile(nrh=10**9, blast_radius=radius, decay=0.5)
+    model = DisturbanceModel(profile, rows=100, rank=0, bank=0)
+    for _ in range(acts):
+        model.on_activate(aggressor, now=0.0)
+    for k in range(1, radius + 1):
+        left = model.disturbance_of(aggressor - k)
+        right = model.disturbance_of(aggressor + k)
+        assert left == right
+        assert left == acts * profile.impact(k)

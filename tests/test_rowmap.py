@@ -1,0 +1,77 @@
+"""Unit and property tests for in-DRAM row mappings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.rowmap import (
+    LinearRowMapping,
+    MirroredRowMapping,
+    ScrambledRowMapping,
+)
+
+ROWS = 1024
+
+
+@pytest.fixture(params=["linear", "mirrored", "scrambled"])
+def mapping(request):
+    if request.param == "linear":
+        return LinearRowMapping(ROWS)
+    if request.param == "mirrored":
+        return MirroredRowMapping(ROWS, block=4)
+    return ScrambledRowMapping(ROWS, seed=0xDEAD)
+
+
+@given(st.integers(min_value=0, max_value=ROWS - 1))
+def test_scrambled_roundtrip(logical):
+    mapping = ScrambledRowMapping(ROWS, seed=99)
+    assert mapping.to_logical(mapping.to_physical(logical)) == logical
+
+
+def test_mappings_are_bijections(mapping):
+    images = {mapping.to_physical(r) for r in range(ROWS)}
+    assert images == set(range(ROWS))
+
+
+def test_roundtrip_all_rows(mapping):
+    for row in range(0, ROWS, 37):
+        assert mapping.to_logical(mapping.to_physical(row)) == row
+
+
+def test_linear_identity():
+    mapping = LinearRowMapping(16)
+    assert [mapping.to_physical(r) for r in range(16)] == list(range(16))
+
+
+def test_mirrored_swaps_pairs():
+    mapping = MirroredRowMapping(8, block=2)
+    assert mapping.to_physical(0) == 1
+    assert mapping.to_physical(1) == 0
+    assert mapping.to_physical(6) == 7
+
+
+def test_physical_neighbors_clip_at_edges():
+    mapping = LinearRowMapping(16)
+    assert mapping.physical_neighbors(0, 2) == [1, 2]
+    assert mapping.physical_neighbors(15, 1) == [14]
+    assert sorted(mapping.physical_neighbors(8, 1)) == [7, 9]
+
+
+def test_logical_neighbors_for_scrambled_differ_from_linear():
+    mapping = ScrambledRowMapping(ROWS, seed=5)
+    linear_guess = [99, 101]
+    true_neighbors = mapping.logical_neighbors(100, 1)
+    # The scrambled mapping's true victims are (almost surely) not the
+    # logically-adjacent rows — the Section 2.3 compatibility problem.
+    assert sorted(true_neighbors) != linear_guess
+
+
+def test_scrambled_different_seeds_differ():
+    a = ScrambledRowMapping(ROWS, seed=1)
+    b = ScrambledRowMapping(ROWS, seed=2)
+    assert any(a.to_physical(r) != b.to_physical(r) for r in range(32))
+
+
+def test_non_power_of_two_rows():
+    mapping = ScrambledRowMapping(1000, seed=123)
+    images = {mapping.to_physical(r) for r in range(1000)}
+    assert images == set(range(1000))

@@ -1,0 +1,91 @@
+"""Unit tests for AttackThrottler (RHLI + quotas)."""
+
+import pytest
+
+from repro.core.config import BlockHammerConfig
+from repro.core.throttler import AttackThrottler
+
+
+def make_throttler(nbl=64, nrh=1024, t_cbf=10_000.0, **kwargs):
+    config = BlockHammerConfig(
+        nrh=nrh, t_refw_ns=t_cbf, t_cbf_ns=t_cbf, nbl=nbl, cbf_size=1024
+    )
+    return AttackThrottler(config, num_threads=2, num_banks=4, **kwargs), config
+
+
+def test_rhli_starts_zero():
+    throttler, _ = make_throttler()
+    assert throttler.rhli(0, 0) == 0.0
+    assert throttler.max_inflight(0, 0) is None
+    assert throttler.max_inflight_total(0) is None
+
+
+def test_rhli_grows_with_blacklisted_acts():
+    throttler, config = make_throttler()
+    for _ in range(10):
+        throttler.record_blacklisted_act(0, 2)
+    assert throttler.rhli(0, 2) == pytest.approx(10 / config.rhli_denominator)
+    assert throttler.rhli(0, 1) == 0.0
+    assert throttler.rhli(1, 2) == 0.0
+
+
+def test_quota_shrinks_and_blocks_at_one():
+    throttler, config = make_throttler()
+    denom = config.rhli_denominator
+    half = int(denom // 2)
+    for _ in range(half):
+        throttler.record_blacklisted_act(0, 0)
+    quota_half = throttler.max_inflight(0, 0)
+    assert quota_half is not None and 0 < quota_half < config.base_quota
+    for _ in range(int(denom)):
+        throttler.record_blacklisted_act(0, 0)
+    assert throttler.rhli(0, 0) >= 1.0
+    assert throttler.max_inflight(0, 0) == 0
+    assert throttler.max_inflight_total(0) == 0
+
+
+def test_counters_saturate_at_cap():
+    throttler, config = make_throttler()
+    for _ in range(10 * config.throttler_counter_max):
+        throttler.record_blacklisted_act(0, 0)
+    assert throttler.rhli(0, 0) <= config.throttler_counter_max / config.rhli_denominator
+
+
+def test_observe_cap_override_allows_rhli_above_one():
+    throttler, config = make_throttler(counter_cap=1 << 20)
+    for _ in range(int(3 * config.rhli_denominator)):
+        throttler.record_blacklisted_act(0, 0)
+    assert throttler.rhli(0, 0) >= 3.0
+
+
+def test_rotation_swaps_and_clears_like_dcbf():
+    throttler, config = make_throttler(t_cbf=10_000.0)
+    epoch = config.epoch_ns
+    for _ in range(10):
+        throttler.record_blacklisted_act(0, 0)
+    throttler.maybe_rotate(epoch)
+    # The passive counter (now active) still holds the counts.
+    assert throttler.rhli(0, 0) > 0.0
+    throttler.maybe_rotate(2 * epoch)
+    # Two rotations with no new events: clean.
+    assert throttler.rhli(0, 0) == 0.0
+
+
+def test_thread_max_rhli_and_snapshot():
+    throttler, _ = make_throttler()
+    for _ in range(5):
+        throttler.record_blacklisted_act(0, 1)
+    for _ in range(9):
+        throttler.record_blacklisted_act(0, 3)
+    assert throttler.thread_max_rhli(0) == throttler.rhli(0, 3)
+    snapshot = throttler.rhli_snapshot()
+    assert set(snapshot) == {(0, 1), (0, 3)}
+    assert snapshot[(0, 3)] > snapshot[(0, 1)]
+
+
+def test_storage_matches_paper_accounting():
+    """Two counters per <thread, bank> pair (Table 1)."""
+    throttler, _ = make_throttler()
+    assert len(throttler._counters) == 2
+    assert len(throttler._counters[0]) == 2  # threads
+    assert len(throttler._counters[0][0]) == 4  # banks

@@ -1,0 +1,38 @@
+"""Unit tests for trace primitives."""
+
+import pytest
+
+from repro.cpu.trace import CallableTrace, ListTrace, TraceRecord
+from repro.utils.validation import ConfigError
+
+
+def test_record_validation():
+    with pytest.raises(ConfigError):
+        TraceRecord(gap=-1, address=0)
+    with pytest.raises(ConfigError):
+        TraceRecord(gap=0, address=-5)
+
+
+def test_list_trace_loops():
+    trace = ListTrace([TraceRecord(1, 64), TraceRecord(2, 128)])
+    seen = [trace.next_record() for _ in range(5)]
+    assert [r.address for r in seen] == [64, 128, 64, 128, 64]
+
+
+def test_list_trace_no_loop_raises():
+    trace = ListTrace([TraceRecord(1, 64)], loop=False)
+    trace.next_record()
+    with pytest.raises(StopIteration):
+        trace.next_record()
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ConfigError):
+        ListTrace([])
+
+
+def test_callable_trace():
+    counter = iter(range(100))
+    trace = CallableTrace(lambda: TraceRecord(0, next(counter) * 64))
+    assert trace.next_record().address == 0
+    assert trace.next_record().address == 64

@@ -1,0 +1,200 @@
+"""Unit tests for workload profiles, the generator, attacks, and mixes."""
+
+import pytest
+
+from repro.dram.address import AddressMapping, MappingScheme
+from repro.utils.rng import DeterministicRng
+from repro.utils.validation import ConfigError
+from repro.workloads.attacks import (
+    build_attack_trace,
+    double_sided_attack,
+    many_sided_attack,
+    single_sided_attack,
+)
+from repro.workloads.generator import ProfileTrace, build_benign_trace
+from repro.workloads.mixes import ATTACKER_THREAD, attack_mixes, benign_mixes
+from repro.workloads.profiles import (
+    TABLE8_PROFILES,
+    Category,
+    profile_by_name,
+    profiles_in_category,
+)
+
+
+# ----------------------------------------------------------------------
+# Profiles (Table 8).
+# ----------------------------------------------------------------------
+def test_thirty_applications():
+    assert len(TABLE8_PROFILES) == 30
+
+
+def test_category_counts_match_table8():
+    assert len(profiles_in_category(Category.L)) == 12
+    assert len(profiles_in_category(Category.M)) == 9
+    assert len(profiles_in_category(Category.H)) == 9
+
+
+def test_published_values_preserved():
+    mcf = profile_by_name("429.mcf")
+    assert mcf.table_mpki == 201.7
+    assert mcf.rbcpki == 62.3
+    libquantum = profile_by_name("462.libquantum")
+    assert libquantum.table_mpki == 26.9
+
+
+def test_category_boundaries():
+    for profile in TABLE8_PROFILES:
+        if profile.category is Category.L:
+            assert profile.rbcpki < 1.0
+        elif profile.category is Category.M:
+            assert 1.0 <= profile.rbcpki <= 5.0
+        else:
+            assert profile.rbcpki > 5.0
+
+
+def test_conflict_fraction_bounded():
+    for profile in TABLE8_PROFILES:
+        assert 0.0 <= profile.conflict_fraction <= 1.0
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ConfigError):
+        profile_by_name("430.doom")
+
+
+# ----------------------------------------------------------------------
+# Generator.
+# ----------------------------------------------------------------------
+def test_generator_is_deterministic(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    profile = profile_by_name("429.mcf")
+    a = build_benign_trace(profile, small_spec, mapping, seed=5)
+    b = build_benign_trace(profile, small_spec, mapping, seed=5)
+    for _ in range(100):
+        ra, rb = a.next_record(), b.next_record()
+        assert (ra.gap, ra.address, ra.is_write) == (rb.gap, rb.address, rb.is_write)
+
+
+def test_generator_gap_tracks_mpki(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    profile = profile_by_name("429.mcf")  # MPKI ~ 202 -> mean gap ~ 4
+    trace = build_benign_trace(profile, small_spec, mapping, seed=5)
+    gaps = [trace.next_record().gap for _ in range(3000)]
+    mean_gap = sum(gaps) / len(gaps)
+    assert mean_gap == pytest.approx(profile.gap_mean, rel=0.25)
+
+
+def test_generator_row_offset_separates_threads(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    profile = profile_by_name("444.namd")
+    a = build_benign_trace(profile, small_spec, mapping, seed=5, row_offset=0)
+    b = build_benign_trace(profile, small_spec, mapping, seed=5, row_offset=1024)
+    rows_a = {mapping.decode(a.next_record().address).row for _ in range(200)}
+    rows_b = {mapping.decode(b.next_record().address).row for _ in range(200)}
+    assert not (rows_a & rows_b)
+
+
+def test_generator_addresses_decode_into_working_set(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    profile = profile_by_name("403.gcc")
+    trace = build_benign_trace(profile, small_spec, mapping, seed=5)
+    for _ in range(300):
+        decoded = mapping.decode(trace.next_record().address)
+        assert decoded.row < profile.working_set_rows
+        assert decoded.bank < min(profile.banks_used, small_spec.banks_per_rank)
+
+
+def test_streaming_profile_walks_rows(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    profile = profile_by_name("movnti.colmaj")
+    trace = ProfileTrace(profile, small_spec, mapping, DeterministicRng(3))
+    rows = [mapping.decode(trace.next_record().address).row for _ in range(50)]
+    assert len(set(rows)) > 25  # near-every access opens a new row
+
+
+# ----------------------------------------------------------------------
+# Attacks.
+# ----------------------------------------------------------------------
+def test_double_sided_alternates_aggressors(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    trace = double_sided_attack(small_spec, mapping, victim_row=100, banks=[0])
+    rows = [mapping.decode(trace.next_record().address).row for _ in range(6)]
+    assert rows == [99, 101, 99, 101, 99, 101]
+
+
+def test_double_sided_rotates_banks(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    trace = double_sided_attack(small_spec, mapping, victim_row=100)
+    banks = [mapping.decode(trace.next_record().address).bank for _ in range(small_spec.banks_per_rank)]
+    assert banks == list(range(small_spec.banks_per_rank))
+
+
+def test_attack_records_are_tight_reads(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    trace = double_sided_attack(small_spec, mapping, victim_row=100)
+    record = trace.next_record()
+    assert record.gap == 0
+    assert not record.is_write
+
+
+def test_single_sided_uses_far_dummy(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    trace = single_sided_attack(small_spec, mapping, aggressor_row=10, banks=[0])
+    rows = {mapping.decode(trace.next_record().address).row for _ in range(4)}
+    assert 10 in rows
+    assert len(rows) == 2  # aggressor + dummy
+
+
+def test_many_sided_spacing(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    trace = many_sided_attack(small_spec, mapping, first_row=50, sides=3, banks=[0])
+    rows = sorted({mapping.decode(trace.next_record().address).row for _ in range(9)})
+    assert rows == [50, 52, 54]
+
+
+def test_build_attack_trace_by_name(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    for kind in ("double", "single", "many"):
+        trace = build_attack_trace(kind, small_spec, mapping)
+        assert trace.next_record().gap == 0
+    with pytest.raises(ConfigError):
+        build_attack_trace("sideways", small_spec, mapping)
+
+
+def test_attack_validation(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    with pytest.raises(ConfigError):
+        double_sided_attack(small_spec, mapping, victim_row=0)  # edge row
+
+
+# ----------------------------------------------------------------------
+# Mixes.
+# ----------------------------------------------------------------------
+def test_mix_counts_and_shapes():
+    mixes = benign_mixes(5)
+    assert len(mixes) == 5
+    assert all(len(m.app_names) == 8 and not m.has_attack for m in mixes)
+    amixes = attack_mixes(5)
+    assert all(m.app_names[ATTACKER_THREAD] == "attack" for m in amixes)
+    assert all(len(m.app_names) == 8 for m in amixes)
+
+
+def test_mixes_are_deterministic():
+    assert benign_mixes(3) == benign_mixes(3)
+    assert attack_mixes(3) == attack_mixes(3)
+
+
+def test_mix_prefix_stability():
+    # Requesting more mixes must not change earlier ones.
+    assert benign_mixes(2) == benign_mixes(10)[:2]
+
+
+def test_mix_builds_traces(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    mix = attack_mixes(1)[0]
+    traces = mix.build_traces(small_spec, mapping)
+    assert len(traces) == 8
+    assert mix.attacker_threads == {0}
+    for trace in traces:
+        record = trace.next_record()
+        assert record.address >= 0
