@@ -1,0 +1,9 @@
+#!/bin/sh
+# Fast perf smoke: one tiny sweep through the parallel experiment
+# executor (job pickling, pool fan-out, extractor transport, keyed
+# assembly).  Runs in seconds; part of tier-1 via the perf_smoke marker.
+#
+# Usage: scripts/perf_smoke.sh [extra pytest args]
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -q -m perf_smoke "$@"

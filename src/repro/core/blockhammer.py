@@ -73,6 +73,11 @@ class BlockHammer(MitigationMechanism):
             num_banks=spec.ranks * spec.banks_per_rank,
             counter_cap=(1 << 30) if self.observe_only else None,
         )
+        if not self.observe_only:
+            # The ACT gate runs once per scheduler candidate per step —
+            # bind it straight to the RowBlocker method so the hot path
+            # skips this wrapper's dispatch (signatures are identical).
+            self.act_allowed_at = self.rowblocker.allowed_at
 
     # ------------------------------------------------------------------
     def on_time_advance(self, now: float) -> None:
@@ -83,6 +88,15 @@ class BlockHammer(MitigationMechanism):
         if self.observe_only:
             return now
         return self.rowblocker.allowed_at(rank, bank, row, thread, now)
+
+    @property
+    def act_block_stable(self) -> float:
+        """Blocked verdicts hold until the next CBF epoch rotation: the
+        blacklist only loses entries at rotation, and a blocked row's
+        history entry cannot be re-stamped while its ACTs are delayed."""
+        if self.observe_only:
+            return float("-inf")
+        return self.rowblocker.next_rotate
 
     def on_activate(self, rank: int, bank: int, row: int, thread: int, now: float) -> None:
         was_blacklisted = self.rowblocker.on_activate(rank, bank, row, now)

@@ -22,7 +22,8 @@ positive rate low at reduced blacklisting thresholds).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 
 from repro.dram.spec import DramSpec
 from repro.utils.units import MS
@@ -63,12 +64,12 @@ class BlockHammerConfig:
     # ------------------------------------------------------------------
     # Eq. 3: many-sided effective threshold.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def impact_sum(self) -> float:
         """Σ c_k over the blast radius (one side of the victim)."""
         return sum(self.blast_decay ** (k - 1) for k in range(1, self.blast_radius + 1))
 
-    @property
+    @cached_property
     def nrh_star(self) -> float:
         """Effective per-row threshold after the many-sided correction."""
         return self.nrh / (2.0 * self.impact_sum)
@@ -76,13 +77,13 @@ class BlockHammerConfig:
     # ------------------------------------------------------------------
     # Eq. 1: blacklisted-row delay.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def t_delay_ns(self) -> float:
         """Minimum spacing enforced between ACTs to a blacklisted row."""
         budget = (self.t_cbf_ns / self.t_refw_ns) * self.nrh_star - self.nbl
         return (self.t_cbf_ns - self.nbl * self.t_rc_ns) / budget
 
-    @property
+    @cached_property
     def epoch_ns(self) -> float:
         """Epoch length: half a CBF lifetime (each filter lives 2 epochs)."""
         return self.t_cbf_ns / 2.0
@@ -90,17 +91,17 @@ class BlockHammerConfig:
     # ------------------------------------------------------------------
     # Derived sizing.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def history_entries(self) -> int:
         """RowBlocker-HB size: worst-case ACTs within tDelay (via tFAW)."""
         return max(1, math.ceil(4.0 * self.t_delay_ns / self.t_faw_ns))
 
-    @property
+    @cached_property
     def counter_bits(self) -> int:
         """CBF counter width: enough to count to NBL plus one spare bit."""
         return max(1, math.ceil(math.log2(self.nbl + 1))) + 1
 
-    @property
+    @cached_property
     def counter_max(self) -> int:
         """Saturation value of a CBF counter."""
         return (1 << self.counter_bits) - 1
@@ -108,12 +109,12 @@ class BlockHammerConfig:
     # ------------------------------------------------------------------
     # Eq. 2: RHLI normalization.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def rhli_denominator(self) -> float:
         """Max blacklisted-row ACTs per CBF lifetime (Eq. 2 denominator)."""
         return self.nrh_star * (self.t_cbf_ns / self.t_refw_ns) - self.nbl
 
-    @property
+    @cached_property
     def throttler_counter_max(self) -> int:
         """AttackThrottler counters saturate at NRH*·(tCBF/tREFW)."""
         return max(1, int(self.nrh_star * (self.t_cbf_ns / self.t_refw_ns)))

@@ -47,12 +47,25 @@ class HashFamily:
 
 
 class MixHashFamily(HashFamily):
-    """Fast 64-bit-mixer hash family (default)."""
+    """Fast 64-bit-mixer hash family (default).
+
+    ``indices`` results are memoized per seed epoch: row keys repeat
+    heavily between reseeds (a hammered row is hashed on every ACT and
+    on every blacklist re-query), and the memo is invalidated wholesale
+    when :meth:`reseed` swaps the seeds at an epoch boundary.  The memo
+    is bounded by the number of distinct keys seen per epoch (at most
+    the rows touched per bank per epoch).  Callers must not mutate the
+    returned list.
+    """
 
     def reseed(self) -> None:
         self._seeds = [self._rng.next_seed() for _ in range(self.k)]
+        self._memo: dict[int, list[int]] = {}
 
     def indices(self, key: int) -> list[int]:
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         out = []
         size = self.size
         for seed in self._seeds:
@@ -61,6 +74,7 @@ class MixHashFamily(HashFamily):
             z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
             z ^= z >> 31
             out.append(z % size)
+        self._memo[key] = out
         return out
 
 

@@ -122,6 +122,11 @@ class RowBlocker:
             ]
             for r in range(num_ranks)
         ]
+        # Flat view indexed by rank * banks_per_rank + bank: allowed_at
+        # runs once per scheduler candidate, where the double list hop
+        # is measurable.
+        self._banks_per_rank = banks_per_rank
+        self._flat_bls = [bl for rank_bls in self.bls for bl in rank_bls]
         self.hbs = [
             ActivationHistoryBuffer(config.t_delay_ns, config.t_faw_ns)
             for _ in range(num_ranks)
@@ -132,6 +137,13 @@ class RowBlocker:
         self._next_rotate = config.epoch_ns
 
     # ------------------------------------------------------------------
+    @property
+    def next_rotate(self) -> float:
+        """Next epoch-rotation deadline: until then, a blacklisted row
+        stays blacklisted and its history entry cannot age out early, so
+        blocked verdicts from :meth:`allowed_at` are stable."""
+        return self._next_rotate
+
     def _rank_row_id(self, bank: int, row: int) -> int:
         """Rank-unique row ID stored in the history buffer."""
         return bank * self.rows_per_bank + row
@@ -156,8 +168,9 @@ class RowBlocker:
         Safe immediately unless the row is blacklisted *and* recently
         activated; then safe once the last activation ages past tDelay.
         """
-        self.maybe_rotate(now)
-        bl = self.bls[rank][bank]
+        if now >= self._next_rotate:
+            self.maybe_rotate(now)
+        bl = self._flat_bls[rank * self._banks_per_rank + bank]
         if not bl.blacklisted(row):
             return now
         allowed = self.hbs[rank].allowed_at(self._rank_row_id(bank, row), now)
@@ -178,8 +191,9 @@ class RowBlocker:
     def on_activate(self, rank: int, bank: int, row: int, now: float) -> bool:
         """Record an issued ACT; returns True if the row was blacklisted
         at issue time (feeds AttackThrottler's RHLI counters)."""
-        self.maybe_rotate(now)
-        bl = self.bls[rank][bank]
+        if now >= self._next_rotate:
+            self.maybe_rotate(now)
+        bl = self._flat_bls[rank * self._banks_per_rank + bank]
         was_blacklisted = bl.blacklisted(row)
         bl.insert(row)
         self.hbs[rank].record(self._rank_row_id(bank, row), now)

@@ -47,8 +47,13 @@ class AttackThrottler:
         self._counters = [
             [[0] * num_banks for _ in range(num_threads)] for _ in range(2)
         ]
+        # Running per-thread max counter per filter: counters only grow
+        # between rotations, so the max never needs a rescan.  Queried
+        # on every injection (max_inflight_total), so this is hot.
+        self._thread_max = [[0] * num_threads for _ in range(2)]
         self._active = 0
         self._next_clear = config.epoch_ns
+        self._rhli_denominator = config.rhli_denominator
         self.blacklisted_acts_total = 0
 
     # ------------------------------------------------------------------
@@ -59,6 +64,7 @@ class AttackThrottler:
             for thread_row in active:
                 for bank in range(self.num_banks):
                     thread_row[bank] = 0
+            self._thread_max[self._active] = [0] * self.num_threads
             self._active = 1 - self._active
             self._next_clear += self.config.epoch_ns
 
@@ -68,18 +74,22 @@ class AttackThrottler:
         for which in range(2):
             value = self._counters[which][thread][bank]
             if value < cap:
-                self._counters[which][thread][bank] = value + 1
+                value += 1
+                self._counters[which][thread][bank] = value
+            maxes = self._thread_max[which]
+            if value > maxes[thread]:
+                maxes[thread] = value
         self.blacklisted_acts_total += 1
 
     # ------------------------------------------------------------------
     def rhli(self, thread: int, bank: int) -> float:
         """RowHammer likelihood index of the <thread, bank> pair (Eq. 2)."""
         count = self._counters[self._active][thread][bank]
-        return count / self.config.rhli_denominator
+        return count / self._rhli_denominator
 
     def thread_max_rhli(self, thread: int) -> float:
         """The thread's largest RHLI across banks (OS-facing summary)."""
-        return max(self.rhli(thread, bank) for bank in range(self.num_banks))
+        return self._thread_max[self._active][thread] / self._rhli_denominator
 
     def rhli_snapshot(self) -> dict[tuple[int, int], float]:
         """All nonzero <thread, bank> RHLI values (Section 3.2.3: the

@@ -24,7 +24,20 @@ class MappingScheme(enum.Enum):
     ROW_BANK_COL = "row_bank_col"
 
 
-@dataclass(frozen=True, order=True)
+#: Bits reserved for the bank id inside a flat per-bank key
+#: (``(rank << BANK_KEY_BITS) | bank``).  Shared by ``Request.bank_key``,
+#: the request queues' per-bank index, the device's flat bank table, and
+#: the scheduler's rank extraction — change it in one place only.
+#: Supports up to 64 banks per rank (beyond any spec in this study).
+BANK_KEY_BITS = 6
+
+
+def bank_key(rank: int, bank: int) -> int:
+    """The flat per-bank key used across the memory subsystem."""
+    return (rank << BANK_KEY_BITS) | bank
+
+
+@dataclass(frozen=True, order=True, slots=True)
 class DecodedAddress:
     """DRAM coordinates of one cache-line-sized access."""
 

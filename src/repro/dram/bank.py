@@ -8,7 +8,7 @@ schedule commands without per-cycle ticking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dram.commands import CommandKind
 from repro.dram.spec import DramSpec
@@ -16,7 +16,7 @@ from repro.dram.spec import DramSpec
 _FAR_PAST = -1.0e18
 
 
-@dataclass
+@dataclass(slots=True)
 class BankStats:
     """Activation/column counters for one bank."""
 
@@ -28,6 +28,19 @@ class BankStats:
 
 class Bank:
     """One DRAM bank: open-row state plus next-allowed command times."""
+
+    __slots__ = (
+        "spec",
+        "rank_id",
+        "bank_id",
+        "open_row",
+        "next_act",
+        "next_pre",
+        "next_rd",
+        "next_wr",
+        "last_act_time",
+        "stats",
+    )
 
     def __init__(self, spec: DramSpec, rank_id: int, bank_id: int) -> None:
         self.spec = spec

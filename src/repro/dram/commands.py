@@ -27,7 +27,7 @@ class CommandKind(enum.Enum):
         return f"CommandKind.{self.name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Command:
     """A single DRAM command addressed to a (rank, bank, row, col).
 

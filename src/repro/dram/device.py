@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.dram.address import BANK_KEY_BITS, bank_key
 from repro.dram.commands import Command, CommandKind
 from repro.dram.rank import Rank
 from repro.dram.rowhammer import BitFlip, DisturbanceModel, DisturbanceProfile
@@ -47,12 +48,12 @@ class DramDevice:
         self.row_mapping = row_mapping or LinearRowMapping(spec.rows_per_bank)
         self.disturbance_profile = disturbance or DisturbanceProfile()
         self.ranks = [Rank(spec, r) for r in range(spec.ranks)]
-        # Flat bank lookup table indexed by (rank << 6) | bank, matching
-        # Request.bank_key; used by the scheduler's hot loop.
-        self.flat_banks: list = [None] * (spec.ranks << 6)
+        # Flat bank lookup table indexed by the shared bank_key
+        # encoding (matches Request.bank_key); scheduler hot loop.
+        self.flat_banks: list = [None] * (spec.ranks << BANK_KEY_BITS)
         for rank in self.ranks:
             for bank in rank.banks:
-                self.flat_banks[(rank.rank_id << 6) | bank.bank_id] = bank
+                self.flat_banks[bank_key(rank.rank_id, bank.bank_id)] = bank
         self._models = [
             [
                 DisturbanceModel(self.disturbance_profile, spec.rows_per_bank, r, b)

@@ -24,17 +24,26 @@ class Rank:
         self.banks = [Bank(spec, rank_id, b) for b in range(spec.banks_per_rank)]
         self._act_times: deque[float] = deque(maxlen=4)
         self._last_act = -1.0e18
+        # Denormalized timing constants: earliest_act runs once per
+        # scheduling step, where the spec attribute hops are measurable.
+        self._tRRD = spec.tRRD
+        self._tFAW = spec.tFAW
 
     # ------------------------------------------------------------------
     # Rank-level constraints.
     # ------------------------------------------------------------------
     def earliest_act(self, now: float) -> float:
         """Earliest time any ACT may issue in this rank (tRRD + tFAW)."""
-        t = max(now, self._last_act + self.spec.tRRD)
-        if len(self._act_times) == 4:
+        t = self._last_act + self._tRRD
+        if t < now:
+            t = now
+        acts = self._act_times
+        if len(acts) == 4:
             # The 4th-most-recent ACT opens a tFAW window; a 5th ACT must
             # wait until that window closes.
-            t = max(t, self._act_times[0] + self.spec.tFAW)
+            w = acts[0] + self._tFAW
+            if w > t:
+                t = w
         return t
 
     def record_act(self, now: float) -> None:

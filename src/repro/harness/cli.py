@@ -73,7 +73,7 @@ def cmd_table4(args) -> str:
 
 
 def cmd_fig4(args) -> str:
-    rows = experiments.fig4_singlecore(_hcfg(args), args.apps)
+    rows = experiments.fig4_singlecore(_hcfg(args), args.apps, workers=args.workers)
     means = experiments.fig4_group_means(rows)
     return format_table(
         ["category", "mechanism", "norm time", "norm energy"],
@@ -85,7 +85,9 @@ def cmd_fig4(args) -> str:
 
 
 def cmd_fig5(args) -> str:
-    rows = experiments.fig5_multicore(_hcfg(args), num_mixes=args.mixes)
+    rows = experiments.fig5_multicore(
+        _hcfg(args), num_mixes=args.mixes, workers=args.workers
+    )
     summary = experiments.summarize_mix_rows(rows)
     return format_table(
         ["scenario", "mechanism", "WS", "HS", "MS", "energy", "flips"],
@@ -105,7 +107,9 @@ def cmd_fig5(args) -> str:
 
 
 def cmd_rhli(args) -> str:
-    rows = experiments.rhli_experiment(_hcfg(args), num_mixes=args.mixes)
+    rows = experiments.rhli_experiment(
+        _hcfg(args), num_mixes=args.mixes, workers=args.workers
+    )
     return format_table(
         ["mode", "attacker mean", "attacker max", "benign max"],
         [
@@ -121,7 +125,7 @@ def cmd_rhli(args) -> str:
 
 
 def cmd_table8(args) -> str:
-    rows = experiments.table8_calibration(_hcfg(args), args.apps)
+    rows = experiments.table8_calibration(_hcfg(args), args.apps, workers=args.workers)
     return format_table(
         ["app", "cat", "MPKI target", "MPKI", "RBCPKI target", "RBCPKI"],
         [
@@ -164,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warmup-us", type=float, default=50.0, help="warmup time (us)")
     parser.add_argument(
         "--apps", nargs="*", default=None, help="application subset (default: all)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: REPRO_WORKERS or serial)",
     )
     return parser
 

@@ -3,6 +3,18 @@
 Each driver returns plain data (lists of row dicts) so benchmarks,
 tests, and examples can share them.  EXPERIMENTS.md records how each
 maps to the paper.
+
+Every sweep driver follows the same three-stage shape on top of
+:mod:`repro.harness.parallel`:
+
+1. **declare jobs** — enumerate the independent simulations (including
+   the shared baseline and alone-IPC runs, which are deduplicated by
+   job key so they execute once and serve every mechanism/scenario);
+2. **execute** — :func:`~repro.harness.parallel.run_jobs`, serially or
+   over a process pool (``workers`` argument / ``REPRO_WORKERS``);
+3. **assemble rows** — walk the declared structure and build rows from
+   the keyed results, so row order and content are independent of how
+   (and in what order) the jobs ran.
 """
 
 from __future__ import annotations
@@ -10,6 +22,15 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
+from repro.harness.parallel import (
+    JobResult,
+    SimJob,
+    mix_job,
+    mix_key,
+    run_jobs,
+    single_job,
+    single_key,
+)
 from repro.harness.runner import HarnessConfig, Runner
 from repro.metrics.speedup import MultiprogramMetrics, compute_metrics
 from repro.mitigations.registry import PAPER_MECHANISMS
@@ -20,23 +41,36 @@ from repro.workloads.profiles import TABLE8_PROFILES, Category
 # ----------------------------------------------------------------------
 # Figure 4 — single-core normalized execution time and DRAM energy.
 # ----------------------------------------------------------------------
+def fig4_jobs(
+    hcfg: HarnessConfig, apps: list[str], mechanisms: list[str]
+) -> list[SimJob]:
+    """One baseline plus one job per (app, mechanism)."""
+    jobs = []
+    for app in apps:
+        jobs.append(single_job(hcfg, app, "none"))
+        for mechanism in mechanisms:
+            jobs.append(single_job(hcfg, app, mechanism))
+    return jobs
+
+
 def fig4_singlecore(
     hcfg: HarnessConfig,
     app_names: list[str] | None = None,
     mechanisms: list[str] | None = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """Rows: app, category, mechanism, norm_time, norm_energy."""
     mechanisms = mechanisms or PAPER_MECHANISMS
     apps = app_names or [p.name for p in TABLE8_PROFILES]
-    runner = Runner(hcfg)
+    results = run_jobs(fig4_jobs(hcfg, apps, mechanisms), workers)
     rows = []
     for app in apps:
         profile = next(p for p in TABLE8_PROFILES if p.name == app)
-        base = runner.run_single(app, "none")
+        base = results[single_key(hcfg, app, 0, "none")]
         base_time = base.result.threads[0].finish_time_ns
         base_energy = base.energy.total_j
         for mechanism in mechanisms:
-            outcome = runner.run_single(app, mechanism)
+            outcome = results[single_key(hcfg, app, 0, mechanism)]
             rows.append(
                 {
                     "app": app,
@@ -85,24 +119,62 @@ class MixOutcomeRow:
     victim_refreshes: int
 
 
-def run_mix_sweep(
+def mix_sweep_jobs(
+    hcfg: HarnessConfig,
+    mixes: list[WorkloadMix],
+    mechanisms: list[str],
+    extract: tuple[str, ...] = (),
+) -> list[SimJob]:
+    """Jobs for a (mix × mechanism) sweep: the shared baseline run, one
+    run per mechanism, and the benign alone-IPC runs.  Alone runs are
+    keyed by (config, app, slot) and deduplicate across mixes,
+    scenarios, and NRH-sweep call sites batched into one execution."""
+    jobs = []
+    for mix in mixes:
+        jobs.append(mix_job(hcfg, mix, "none"))
+        for mechanism in mechanisms:
+            jobs.append(mix_job(hcfg, mix, mechanism, extract=extract))
+        for slot, app in enumerate(mix.app_names):
+            if slot in mix.attacker_threads:
+                continue
+            jobs.append(single_job(hcfg, app, "none", slot=slot))
+    return jobs
+
+
+def _benign_ipc_maps(
+    hcfg: HarnessConfig,
+    mix: WorkloadMix,
+    outcome: JobResult,
+    results: dict,
+) -> tuple[dict[int, float], dict[int, float]]:
+    """(shared, alone) IPC maps over the mix's benign threads."""
+    shared: dict[int, float] = {}
+    alone: dict[int, float] = {}
+    for slot, app in enumerate(mix.app_names):
+        if slot in mix.attacker_threads:
+            continue
+        shared[slot] = outcome.result.threads[slot].ipc
+        alone[slot] = results[single_key(hcfg, app, slot, "none")].result.threads[0].ipc
+    return shared, alone
+
+
+def assemble_mix_rows(
     hcfg: HarnessConfig,
     mixes: list[WorkloadMix],
     mechanisms: list[str],
     scenario: str,
-    runner: Runner | None = None,
+    results: dict,
 ) -> list[MixOutcomeRow]:
-    """Run every (mix, mechanism) pair plus the shared baseline."""
-    runner = runner or Runner(hcfg)
+    """Build normalized rows from executed mix-sweep jobs."""
     rows = []
     for mix in mixes:
-        base = runner.run_mix(mix, "none")
-        shared, alone = runner.benign_ipc_maps(mix, base)
+        base = results[mix_key(hcfg, mix, "none")]
+        shared, alone = _benign_ipc_maps(hcfg, mix, base, results)
         base_metrics = compute_metrics(shared, alone)
         base_energy = base.energy.total_j
         for mechanism in mechanisms:
-            outcome = runner.run_mix(mix, mechanism)
-            shared, alone = runner.benign_ipc_maps(mix, outcome)
+            outcome = results[mix_key(hcfg, mix, mechanism)]
+            shared, alone = _benign_ipc_maps(hcfg, mix, outcome, results)
             metrics = compute_metrics(shared, alone)
             rows.append(
                 MixOutcomeRow(
@@ -119,20 +191,46 @@ def run_mix_sweep(
     return rows
 
 
+def run_mix_sweep(
+    hcfg: HarnessConfig,
+    mixes: list[WorkloadMix],
+    mechanisms: list[str],
+    scenario: str,
+    runner: Runner | None = None,
+    workers: int | None = None,
+) -> list[MixOutcomeRow]:
+    """Run every (mix, mechanism) pair plus the shared baseline.
+
+    ``runner`` is accepted for backward compatibility; cross-run reuse
+    now happens through job deduplication instead of a shared Runner.
+    """
+    del runner
+    jobs = mix_sweep_jobs(hcfg, mixes, mechanisms)
+    results = run_jobs(jobs, workers)
+    return assemble_mix_rows(hcfg, mixes, mechanisms, scenario, results)
+
+
 def fig5_multicore(
     hcfg: HarnessConfig,
     num_mixes: int = 3,
     mechanisms: list[str] | None = None,
+    workers: int | None = None,
 ) -> list[MixOutcomeRow]:
-    """Both Figure 5 scenarios over ``num_mixes`` mixes each."""
+    """Both Figure 5 scenarios over ``num_mixes`` mixes each.
+
+    Declared as one job batch so the alone-IPC runs are shared between
+    the no-attack and attack scenarios (and across mechanisms), then
+    assembled in the fixed scenario order.
+    """
     mechanisms = mechanisms or PAPER_MECHANISMS
-    runner = Runner(hcfg)
-    rows = run_mix_sweep(
-        hcfg, benign_mixes(num_mixes), mechanisms, "no-attack", runner
+    benign = benign_mixes(num_mixes)
+    attack = attack_mixes(num_mixes)
+    jobs = mix_sweep_jobs(hcfg, benign, mechanisms) + mix_sweep_jobs(
+        hcfg, attack, mechanisms
     )
-    rows += run_mix_sweep(
-        hcfg, attack_mixes(num_mixes), mechanisms, "attack", runner
-    )
+    results = run_jobs(jobs, workers)
+    rows = assemble_mix_rows(hcfg, benign, mechanisms, "no-attack", results)
+    rows += assemble_mix_rows(hcfg, attack, mechanisms, "attack", results)
     return rows
 
 
@@ -173,13 +271,27 @@ def fig6_scaling(
     paper_nrh_values: list[int],
     num_mixes: int = 2,
     mechanisms: list[str] | None = None,
+    workers: int | None = None,
 ) -> list[dict]:
-    """Figure 6: normalized metrics vs NRH, both scenarios."""
+    """Figure 6: normalized metrics vs NRH, both scenarios.
+
+    All NRH points are declared into a single job batch, so a parallel
+    run fans out across the whole (NRH × mix × scenario × mechanism)
+    grid at once.
+    """
     mechanisms = mechanisms or FIG6_MECHANISMS
+    benign = benign_mixes(num_mixes)
+    attack = attack_mixes(num_mixes)
+    points = [(paper_nrh, hcfg.with_nrh(paper_nrh)) for paper_nrh in paper_nrh_values]
+    jobs: list[SimJob] = []
+    for _, nrh_cfg in points:
+        jobs += mix_sweep_jobs(nrh_cfg, benign, mechanisms)
+        jobs += mix_sweep_jobs(nrh_cfg, attack, mechanisms)
+    results = run_jobs(jobs, workers)
     out = []
-    for paper_nrh in paper_nrh_values:
-        nrh_cfg = hcfg.with_nrh(paper_nrh)
-        rows = fig5_multicore(nrh_cfg, num_mixes, mechanisms)
+    for paper_nrh, nrh_cfg in points:
+        rows = assemble_mix_rows(nrh_cfg, benign, mechanisms, "no-attack", results)
+        rows += assemble_mix_rows(nrh_cfg, attack, mechanisms, "attack", results)
         for summary in summarize_mix_rows(rows):
             summary["paper_nrh"] = paper_nrh
             out.append(summary)
@@ -189,22 +301,29 @@ def fig6_scaling(
 # ----------------------------------------------------------------------
 # Section 3.2.1 — RHLI of benign vs attack threads.
 # ----------------------------------------------------------------------
-def rhli_experiment(hcfg: HarnessConfig, num_mixes: int = 2) -> list[dict]:
+def rhli_experiment(
+    hcfg: HarnessConfig, num_mixes: int = 2, workers: int | None = None
+) -> list[dict]:
     """RHLI statistics in observe-only and full-functional modes."""
-    runner = Runner(hcfg)
+    modes = ("blockhammer-observe", "blockhammer")
+    mixes = attack_mixes(num_mixes)
+    jobs = [
+        mix_job(hcfg, mix, mode, extract=("thread_rhli",))
+        for mode in modes
+        for mix in mixes
+    ]
+    results = run_jobs(jobs, workers)
     rows = []
-    for mode in ("blockhammer-observe", "blockhammer"):
+    for mode in modes:
         attacker_rhli = []
         benign_rhli = []
-        for mix in attack_mixes(num_mixes):
-            outcome = runner.run_mix(mix, mode)
-            mechanism = outcome.mechanism
+        for mix in mixes:
+            rhli = results[mix_key(hcfg, mix, mode)].extras["thread_rhli"]
             for slot in range(len(mix.app_names)):
-                value = mechanism.thread_max_rhli(slot)
                 if slot in mix.attacker_threads:
-                    attacker_rhli.append(value)
+                    attacker_rhli.append(rhli[slot])
                 else:
-                    benign_rhli.append(value)
+                    benign_rhli.append(rhli[slot])
         rows.append(
             {
                 "mode": mode,
@@ -220,16 +339,21 @@ def rhli_experiment(hcfg: HarnessConfig, num_mixes: int = 2) -> list[dict]:
 # ----------------------------------------------------------------------
 # Section 8.4 — false positives and delay distribution.
 # ----------------------------------------------------------------------
-def sec84_internals(hcfg: HarnessConfig, num_mixes: int = 2) -> dict:
+def sec84_internals(
+    hcfg: HarnessConfig, num_mixes: int = 2, workers: int | None = None
+) -> dict:
     """BlockHammer's false-positive rate and delay percentiles over
     benign multiprogrammed workloads."""
-    runner = Runner(hcfg)
+    mixes = benign_mixes(num_mixes)
+    jobs = [
+        mix_job(hcfg, mix, "blockhammer", extract=("delay_stats",)) for mix in mixes
+    ]
+    results = run_jobs(jobs, workers)
     total_acts = 0
     fp_acts = 0
     delays: list[float] = []
-    for mix in benign_mixes(num_mixes):
-        outcome = runner.run_mix(mix, "blockhammer")
-        stats = outcome.mechanism.delay_stats()
+    for mix in mixes:
+        stats = results[mix_key(hcfg, mix, "blockhammer")].extras["delay_stats"]
         total_acts += stats.total_acts
         fp_acts += stats.false_positive_acts
         delays.extend(stats.false_positive_delays_ns)
@@ -255,16 +379,18 @@ def sec84_internals(hcfg: HarnessConfig, num_mixes: int = 2) -> dict:
 # Table 8 — workload calibration.
 # ----------------------------------------------------------------------
 def table8_calibration(
-    hcfg: HarnessConfig, app_names: list[str] | None = None
+    hcfg: HarnessConfig,
+    app_names: list[str] | None = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """Measured vs target MPKI/RBCPKI for the benign generator."""
-    runner = Runner(hcfg)
     apps = app_names or [p.name for p in TABLE8_PROFILES]
+    jobs = [single_job(hcfg, app, "none") for app in apps]
+    results = run_jobs(jobs, workers)
     rows = []
     for app in apps:
         profile = next(p for p in TABLE8_PROFILES if p.name == app)
-        outcome = runner.run_single(app, "none")
-        thread = outcome.result.threads[0]
+        thread = results[single_key(hcfg, app, 0, "none")].result.threads[0]
         rows.append(
             {
                 "app": app,
@@ -291,6 +417,9 @@ def rowmap_ablation(hcfg: HarnessConfig, mechanisms: list[str] | None = None) ->
     therefore uses a fixed simulated duration long enough for the
     unprotected attack to succeed.  A ``none`` row is always included to
     establish that the attack is effective.
+
+    This driver stays serial: the assumed-linear adjacency oracle is a
+    local closure, which cannot cross a process boundary.
     """
     from dataclasses import replace as dc_replace
 

@@ -1,0 +1,275 @@
+"""Job-based parallel experiment execution.
+
+Every paper figure this repository reproduces is a sweep of *independent*
+simulations — (app × mechanism), (mix × scenario × mechanism),
+(NRH point × mechanism).  This module turns those sweeps into explicit
+job lists that fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* :class:`SimJob` — a picklable, self-contained description of one
+  simulation (configuration + workload + mechanism + which mechanism
+  statistics to extract).  Jobs carry a deterministic ``key``; jobs with
+  equal keys are executed once and shared (this is how the Runner's
+  alone-IPC cache generalizes across processes: every "app running
+  alone on the baseline" run is a job keyed by (config, app, slot) and
+  deduplicated across mixes, scenarios, and mechanisms).
+* :func:`run_jobs` — executes a job list, in worker processes when
+  ``workers > 1`` and serially otherwise, and returns results keyed by
+  job key.  Result assembly is therefore order-independent: drivers
+  iterate their declared structure, not the completion order, so serial
+  and parallel execution produce **identical** rows.  Each job runs a
+  fully self-contained simulation with its own deterministic RNGs, so
+  results are also bit-identical across worker counts.
+
+Drivers in :mod:`repro.harness.experiments` follow a declare-jobs →
+execute → assemble-rows shape on top of these primitives.
+
+Mechanism objects hold closures (the adjacency oracle) and cannot cross
+a process boundary; anything a driver needs from the mechanism after
+the run is declared up front via ``SimJob.extract`` and computed inside
+the worker (see :data:`EXTRACTORS`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.energy.drampower import EnergyBreakdown
+from repro.harness.runner import HarnessConfig, Runner, RunOutcome
+from repro.sim.stats import SimResult
+from repro.workloads.mixes import WorkloadMix
+
+#: Environment variable consulted when a driver does not pass an
+#: explicit worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+JobKey = tuple
+
+
+def _extract_delay_stats(outcome: RunOutcome):
+    """BlockHammer's Section 8.4 delay statistics (a plain dataclass)."""
+    return outcome.mechanism.delay_stats()
+
+
+def _extract_thread_rhli(outcome: RunOutcome) -> list[float]:
+    """Per-thread maximum RHLI at end of run (Section 3.2.1)."""
+    return [
+        outcome.mechanism.thread_max_rhli(thread)
+        for thread in range(len(outcome.result.threads))
+    ]
+
+
+#: Named, picklable-result extractors applied to the finished run
+#: inside the worker process.
+EXTRACTORS = {
+    "delay_stats": _extract_delay_stats,
+    "thread_rhli": _extract_thread_rhli,
+}
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation in a sweep.
+
+    ``kind`` selects the workload shape:
+
+    * ``"single"`` — one benign application (``app``) running alone,
+      seeded as mix slot ``slot`` (slot 0 reproduces ``Runner.run_single``;
+      other slots reproduce the alone-IPC runs used by multiprogram
+      metrics).
+    * ``"mix"`` — a multiprogrammed :class:`WorkloadMix`.
+
+    ``key`` must be hashable, deterministic, and unique per distinct
+    simulation; jobs with equal keys are deduplicated by
+    :func:`run_jobs` (their ``extract`` tuples are unioned).
+    """
+
+    key: JobKey
+    hcfg: HarnessConfig
+    kind: str
+    mechanism: str = "none"
+    app: str | None = None
+    slot: int = 0
+    mix: WorkloadMix | None = None
+    extract: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single", "mix"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "single" and self.app is None:
+            raise ValueError("single jobs need an app name")
+        if self.kind == "mix" and self.mix is None:
+            raise ValueError("mix jobs need a WorkloadMix")
+        for name in self.extract:
+            if name not in EXTRACTORS:
+                raise ValueError(f"unknown extractor {name!r}")
+
+
+@dataclass
+class JobResult:
+    """The picklable outcome of one :class:`SimJob`."""
+
+    key: JobKey
+    mechanism_name: str
+    result: SimResult
+    energy: EnergyBreakdown
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def bitflips(self) -> int:
+        return self.result.total_bitflips
+
+
+# ----------------------------------------------------------------------
+# Job execution (runs inside worker processes for parallel sweeps).
+# ----------------------------------------------------------------------
+#: Per-process Runner cache: a worker executes many jobs against the
+#: same configuration; rebuilding the Runner per job is pure waste.
+_RUNNERS: dict[HarnessConfig, Runner] = {}
+
+
+def _runner_for(hcfg: HarnessConfig) -> Runner:
+    runner = _RUNNERS.get(hcfg)
+    if runner is None:
+        runner = Runner(hcfg)
+        _RUNNERS[hcfg] = runner
+    return runner
+
+
+def execute_job(job: SimJob) -> JobResult:
+    """Run one job to completion (callable in any process)."""
+    runner = _runner_for(job.hcfg)
+    if job.kind == "single":
+        outcome = runner.run_single(job.app, job.mechanism, slot=job.slot)
+    else:
+        outcome = runner.run_mix(job.mix, job.mechanism)
+    extras = {name: EXTRACTORS[name](outcome) for name in job.extract}
+    return JobResult(
+        key=job.key,
+        mechanism_name=outcome.mechanism_name,
+        result=outcome.result,
+        energy=outcome.energy,
+        extras=extras,
+    )
+
+
+# ----------------------------------------------------------------------
+# The executor.
+# ----------------------------------------------------------------------
+def resolve_workers(workers: int | None) -> int:
+    """Effective worker count: explicit argument, else ``REPRO_WORKERS``,
+    else 1 (serial)."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(env) if env else 1
+    return max(1, workers)
+
+
+def dedupe_jobs(jobs: list[SimJob]) -> list[SimJob]:
+    """Unique jobs in first-occurrence order.
+
+    Jobs sharing a key must describe the same simulation; their
+    ``extract`` tuples are unioned so one run serves every consumer.
+    """
+    unique: dict[JobKey, SimJob] = {}
+    for job in jobs:
+        existing = unique.get(job.key)
+        if existing is None:
+            unique[job.key] = job
+            continue
+        if replace(existing, extract=()) != replace(job, extract=()):
+            raise ValueError(f"job key {job.key!r} reused for a different simulation")
+        if job.extract != existing.extract:
+            merged = existing.extract + tuple(
+                name for name in job.extract if name not in existing.extract
+            )
+            unique[job.key] = replace(existing, extract=merged)
+    return list(unique.values())
+
+
+def run_jobs(
+    jobs: list[SimJob],
+    workers: int | None = None,
+    chunksize: int = 1,
+) -> dict[JobKey, JobResult]:
+    """Execute ``jobs`` (deduplicated) and return results by job key.
+
+    ``workers <= 1`` runs serially in-process; ``workers > 1`` fans out
+    over a process pool, falling back to serial execution when the
+    platform cannot spawn worker processes (e.g. sandboxed CI).  Result
+    content is identical either way — each job is a self-contained
+    deterministic simulation — and the returned mapping lets callers
+    assemble rows in declaration order, independent of completion order.
+    """
+    ordered = dedupe_jobs(jobs)
+    count = resolve_workers(workers)
+    if count > 1 and len(ordered) > 1:
+        spawned = False
+        try:
+            with ProcessPoolExecutor(max_workers=min(count, len(ordered))) as pool:
+                # Probe before dispatching real work: worker processes
+                # spawn lazily, so "this platform cannot run process
+                # pools" (sandboxed CI) only surfaces on first use.
+                pool.submit(os.getpid).result()
+                spawned = True
+                results = list(pool.map(execute_job, ordered, chunksize=chunksize))
+            return {res.key: res for res in results}
+        except (OSError, PermissionError, RuntimeError):
+            if spawned:
+                # Workers ran: this is a genuine failure inside the
+                # sweep (a job raised, or a worker died mid-run).
+                # Surface it rather than silently rerunning hours of
+                # work serially.
+                raise
+            # Process pools are unavailable (restricted environments):
+            # fall back to the serial path, which produces identical
+            # results.
+    return {job.key: execute_job(job) for job in ordered}
+
+
+# ----------------------------------------------------------------------
+# Key helpers shared by the experiment drivers.
+# ----------------------------------------------------------------------
+def single_key(hcfg: HarnessConfig, app: str, slot: int, mechanism: str) -> JobKey:
+    """Key for an application running alone (slot-seeded)."""
+    return ("single", hcfg, app, slot, mechanism)
+
+
+def mix_key(hcfg: HarnessConfig, mix: WorkloadMix, mechanism: str) -> JobKey:
+    """Key for a multiprogrammed mix under a mechanism."""
+    return ("mix", hcfg, mix.name, mix.app_names, mechanism)
+
+
+def single_job(
+    hcfg: HarnessConfig,
+    app: str,
+    mechanism: str = "none",
+    slot: int = 0,
+    extract: tuple[str, ...] = (),
+) -> SimJob:
+    return SimJob(
+        key=single_key(hcfg, app, slot, mechanism),
+        hcfg=hcfg,
+        kind="single",
+        mechanism=mechanism,
+        app=app,
+        slot=slot,
+        extract=extract,
+    )
+
+
+def mix_job(
+    hcfg: HarnessConfig,
+    mix: WorkloadMix,
+    mechanism: str = "none",
+    extract: tuple[str, ...] = (),
+) -> SimJob:
+    return SimJob(
+        key=mix_key(hcfg, mix, mechanism),
+        hcfg=hcfg,
+        kind="mix",
+        mechanism=mechanism,
+        mix=mix,
+        extract=extract,
+    )

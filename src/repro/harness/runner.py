@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 from repro.cpu.core import CoreParams
 from repro.dram.address import AddressMapping, MappingScheme
@@ -31,6 +32,20 @@ from repro.workloads.profiles import WorkloadProfile, profile_by_name
 #: Attack threads replay a memory-level firehose trace (Section 7), not
 #: a compute-bound core: deep MLP keeps the channel saturated.
 ATTACKER_CORE_PARAMS = CoreParams(max_outstanding=48)
+
+
+@lru_cache(maxsize=None)
+def _scaled_spec(base_spec: DramSpec, scale: float) -> DramSpec:
+    """Scaled spec, memoized: ``HarnessConfig.spec()`` is called per
+    trace build and per alone-IPC computation, and rebuilding the spec
+    each time is pure waste (both inputs are immutable)."""
+    return base_spec.scaled(scale)
+
+
+@lru_cache(maxsize=None)
+def _mop_mapping(spec: DramSpec) -> AddressMapping:
+    """MOP address mapping per spec, memoized (stateless after init)."""
+    return AddressMapping(spec, MappingScheme.MOP)
 
 
 @dataclass(frozen=True)
@@ -95,7 +110,7 @@ class HarnessConfig:
         return {}
 
     def spec(self) -> DramSpec:
-        return self.base_spec.scaled(self.scale)
+        return _scaled_spec(self.base_spec, self.scale)
 
     def with_nrh(self, paper_nrh: int) -> "HarnessConfig":
         return replace(self, paper_nrh=paper_nrh)
@@ -114,7 +129,7 @@ class HarnessConfig:
         )
 
     def mapping(self) -> AddressMapping:
-        return AddressMapping(self.spec(), MappingScheme.MOP)
+        return _mop_mapping(self.spec())
 
 
 @dataclass
@@ -192,10 +207,17 @@ class Runner:
         )
 
     # ------------------------------------------------------------------
-    def run_single(self, app_name: str, mechanism_name: str = "none") -> RunOutcome:
-        """Single-core run of one Table 8 application (Figure 4)."""
+    def run_single(
+        self, app_name: str, mechanism_name: str = "none", slot: int = 0
+    ) -> RunOutcome:
+        """Single-core run of one Table 8 application (Figure 4).
+
+        ``slot`` seeds the trace as if the app occupied that mix slot,
+        which is how the alone-IPC runs behind the multiprogram metrics
+        are produced (the job layer runs them as ``single`` jobs).
+        """
         profile = profile_by_name(app_name)
-        trace = self._benign_trace(profile, slot=0)
+        trace = self._benign_trace(profile, slot=slot)
         return self.run_traces([trace], mechanism_name)
 
     def run_mix(
@@ -243,9 +265,7 @@ class Runner:
         app = mix.app_names[slot]
         key = (app, self.hcfg.seed + slot, slot)
         if key not in self._alone_ipc_cache:
-            profile = profile_by_name(app)
-            trace = self._benign_trace(profile, slot=slot)
-            outcome = self.run_traces([trace], "none")
+            outcome = self.run_single(app, "none", slot=slot)
             self._alone_ipc_cache[key] = outcome.result.threads[0].ipc
         return self._alone_ipc_cache[key]
 

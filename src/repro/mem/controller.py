@@ -31,6 +31,7 @@ from repro.mitigations.base import MitigationMechanism, NoMitigation
 from repro.utils.validation import require
 
 _NEVER = 1.0e30
+_NO_RANKS: frozenset[int] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -96,6 +97,11 @@ class MemoryController:
         self.config = config or ControllerConfig()
         self.read_queue = RequestQueue(self.config.read_queue_depth)
         self.write_queue = RequestQueue(self.config.write_queue_depth)
+        # Direct bindings to the queues' backing lists (never
+        # reassigned): the drain-mode checks run every scheduling step
+        # and a C-level len() beats a method call there.
+        self._read_items = self.read_queue.items
+        self._write_items = self.write_queue.items
         self.refresh = RefreshManager(spec, self.mitigation.refresh_interval_scale())
         self.num_threads = num_threads
         self.thread_stats = [ThreadMemStats() for _ in range(num_threads)]
@@ -199,12 +205,17 @@ class MemoryController:
 
         # A future REF deadline is a wake source; an already-pending one
         # is handled by the refresh steps below (whose own bank-timing
-        # estimates provide the wake time).
+        # estimates provide the wake time).  The common case is no rank
+        # overdue, decided by the earliest deadline alone.
         due = self.refresh.earliest_due()
-        wake = due if due > now else _NEVER
-        blocked_ranks = frozenset(
-            r for r in range(self.spec.ranks) if self.refresh.pending(r, now)
-        )
+        if due > now:
+            wake = due
+            blocked_ranks = _NO_RANKS
+        else:
+            wake = _NEVER
+            blocked_ranks = frozenset(
+                r for r in range(self.spec.ranks) if self.refresh.pending(r, now)
+            )
 
         # 1. Auto-refresh steps for overdue ranks.
         for rank_id in blocked_ranks:
@@ -288,6 +299,10 @@ class MemoryController:
                 self.commands_issued += 1
                 if cmd.kind is CommandKind.VREF:
                     queue.popleft()
+                    if not queue:
+                        # Prune drained banks so later steps do not
+                        # rescan them (safe: we return immediately).
+                        del self._vrefs[(rank_id, bank_id)]
                     self._pending_vref_count -= 1
                     self.vref_count += 1
                 return True, now
@@ -302,9 +317,10 @@ class MemoryController:
         self, now: float, blocked_ranks: frozenset[int]
     ) -> Selection:
         """Run the policy over reads/writes per the drain mode."""
-        if len(self.write_queue) >= self.config.write_drain_high:
+        writes_pending = len(self._write_items)
+        if writes_pending >= self.config.write_drain_high:
             self._write_draining = True
-        elif len(self.write_queue) <= self.config.write_drain_low:
+        elif writes_pending <= self.config.write_drain_low:
             self._write_draining = False
 
         # Writes are served in batches: forced drain above the high
@@ -312,24 +328,24 @@ class MemoryController:
         # has accumulated.  Outside those windows, writes never issue
         # row commands — a lone write's precharge would ping-pong open
         # rows underneath the read stream.
-        opportunistic = self.read_queue.empty and (
-            len(self.write_queue) >= self.config.write_drain_low
+        opportunistic = not self._read_items and (
+            writes_pending >= self.config.write_drain_low
         )
         if self._write_draining or opportunistic:
             sel = self.policy.select(
-                self.write_queue.items, self.device, self.mitigation, now, blocked_ranks
+                self.write_queue, self.device, self.mitigation, now, blocked_ranks
             )
             if sel.command is not None:
                 return sel
             sel2 = self.policy.select(
-                self.read_queue.items, self.device, self.mitigation, now, blocked_ranks
+                self.read_queue, self.device, self.mitigation, now, blocked_ranks
             )
             if sel2.command is not None:
                 return sel2
             return Selection(None, None, min(sel.next_ready, sel2.next_ready))
 
         sel = self.policy.select(
-            self.read_queue.items, self.device, self.mitigation, now, blocked_ranks
+            self.read_queue, self.device, self.mitigation, now, blocked_ranks
         )
         return sel
 

@@ -1,7 +1,16 @@
-"""Bounded request queues (Table 5: 64-entry read and write queues)."""
+"""Bounded request queues (Table 5: 64-entry read and write queues).
+
+The queue maintains two views of its contents: a flat arrival-ordered
+list (``items``) and a per-bank index (``by_bank``) keyed by
+``Request.bank_key``.  FR-FCFS consumes the per-bank view so one
+scheduling step no longer scans the full queue twice; arrival-order
+tie-breaking is preserved through ``Request.queue_seq``, assigned
+monotonically on insertion.
+"""
 
 from __future__ import annotations
 
+from repro.dram.address import bank_key
 from repro.mem.request import Request
 from repro.utils.validation import require
 
@@ -9,14 +18,24 @@ from repro.utils.validation import require
 class RequestQueue:
     """A FIFO-ordered, capacity-bounded request queue.
 
-    Order is arrival order; FR-FCFS scans it front-to-back so "first
-    ready" ties break toward older requests.
+    Order is arrival order; FR-FCFS ties break toward older requests
+    (smaller ``queue_seq``).
     """
+
+    __slots__ = ("capacity", "_items", "by_bank", "bank_block", "_next_seq")
 
     def __init__(self, capacity: int = 64) -> None:
         require(capacity >= 1, "queue capacity must be >= 1")
         self.capacity = capacity
         self._items: list[Request] = []
+        #: Arrival-ordered requests per bank_key (scheduler hot path).
+        self.by_bank: dict[int, list[Request]] = {}
+        #: Scheduler-maintained "whole bank is RowHammer-blocked"
+        #: summaries: bank_key -> (blocked_until, wake, observed open
+        #: row).  Invalidated here on push (a new request may be safe);
+        #: the scheduler re-validates the open row and expiry itself.
+        self.bank_block: dict[int, tuple[float, float, int | None]] = {}
+        self._next_seq = 0
 
     @property
     def items(self) -> list[Request]:
@@ -41,12 +60,27 @@ class RequestQueue:
     def push(self, request: Request) -> None:
         """Append ``request``; raises if the queue is full."""
         require(not self.full, "pushing into a full request queue")
+        request.queue_seq = self._next_seq
+        self._next_seq += 1
         self._items.append(request)
+        key = request.bank_key
+        bank_list = self.by_bank.get(key)
+        if bank_list is None:
+            self.by_bank[key] = [request]
+        else:
+            bank_list.append(request)
+        if self.bank_block:
+            self.bank_block.pop(key, None)
 
     def remove(self, request: Request) -> None:
         """Remove a serviced request."""
         self._items.remove(request)
+        bank_list = self.by_bank[request.bank_key]
+        if len(bank_list) == 1:
+            del self.by_bank[request.bank_key]
+        else:
+            bank_list.remove(request)
 
     def requests_for_bank(self, rank: int, bank: int) -> list[Request]:
         """Queued requests targeting (rank, bank), oldest first."""
-        return [r for r in self._items if r.address.rank == rank and r.address.bank == bank]
+        return list(self.by_bank.get(bank_key(rank, bank), ()))

@@ -6,7 +6,7 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
-from repro.dram.address import DecodedAddress
+from repro.dram.address import BANK_KEY_BITS, DecodedAddress
 
 _request_ids = itertools.count()
 
@@ -26,13 +26,25 @@ class ServiceClass(enum.Enum):
     CONFLICT = "conflict"  # different row open, PRE needed first
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class Request:
     """One cache-line memory request from a thread.
+
+    Requests compare by identity (``eq=False``): each models one
+    physical in-flight access, and queue removal relies on the
+    interpreter's identity fast path instead of a field-by-field
+    dataclass comparison over every scanned entry.
 
     ``address`` carries the decoded DRAM coordinates.  The controller
     fills in ``service_class`` when the request first receives a command
     and ``complete_time`` when its data transfer finishes.
+    ``queue_seq`` is assigned by the request queue on insertion and
+    orders FR-FCFS tie-breaks (arrival order within the queue).
+
+    ``blocked_until``/``blocked_wake`` cache a mitigation's "unsafe
+    until ``blocked_wake``" verdict: the scheduler trusts it without
+    re-querying while ``now < blocked_until`` (the verdict's stability
+    horizon, see ``MitigationMechanism.act_block_stable``).
     """
 
     thread: int
@@ -42,6 +54,9 @@ class Request:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     service_class: ServiceClass | None = None
     complete_time: float | None = None
+    queue_seq: int = 0
+    blocked_until: float = 0.0
+    blocked_wake: float = 0.0
     is_write: bool = field(init=False)
     rank: int = field(init=False)
     bank: int = field(init=False)
@@ -58,7 +73,7 @@ class Request:
         self.bank = self.address.bank
         self.row = self.address.row
         self.col = self.address.col
-        self.bank_key = (self.rank << 6) | self.bank
+        self.bank_key = (self.rank << BANK_KEY_BITS) | self.bank
 
     def key(self) -> tuple[int, int]:
         """(rank, bank) the request targets."""

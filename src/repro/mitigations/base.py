@@ -80,6 +80,16 @@ class MitigationMechanism:
     # ------------------------------------------------------------------
     # Proactive throttling.
     # ------------------------------------------------------------------
+    #: Horizon until which a "blocked" answer from :meth:`act_allowed_at`
+    #: is stable: no event other than the passage of time can make the
+    #: row safe *earlier* than the returned time before this horizon.
+    #: The scheduler caches blocked verdicts on the request until
+    #: ``min(allowed, act_block_stable)``.  The default (-inf) disables
+    #: caching — every scheduling step re-queries, exactly like a naive
+    #: scan.  Mechanisms with epoch-style state (BlockHammer's CBF
+    #: rotation) override this with their next state-change deadline.
+    act_block_stable: float = float("-inf")
+
     def act_allowed_at(self, rank: int, bank: int, row: int, thread: int, now: float) -> float:
         """Earliest time an ACT to (rank, bank, row) may issue (>= now)."""
         return now

@@ -47,6 +47,10 @@ class SimResult:
     refreshes: int
     victim_refreshes: int
     commands_issued: int
+    #: Discrete events processed by the simulation loop (perf metric;
+    #: excluded from result-equality comparisons by value symmetry —
+    #: identical simulations process identical event streams).
+    events_processed: int = 0
 
     @property
     def total_instructions(self) -> int:

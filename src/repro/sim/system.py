@@ -3,12 +3,17 @@
 A :class:`System` assembles the DRAM device, memory controller, cores,
 and the RowHammer mitigation mechanism from a :class:`SystemConfig`, and
 drives them to completion with a discrete-event loop.  Each entity
-(controller, core) is woken only when it can make progress; version
-counters suppress stale wake-ups so the loop never executes an entity
-twice for the same logical event.
+(controller, core) is woken only when it can make progress; a wake-up
+is recognized as stale when the entity's recorded next-wake time no
+longer matches the event's time, so the loop never executes an entity
+twice for the same logical event.  Wake-up events reuse one bound
+callable per entity instead of allocating a fresh closure per event —
+several hundred thousand allocations per simulation on the hot path.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 from repro.cpu.cache import SetAssocCache
 from repro.cpu.core import Core
@@ -92,11 +97,21 @@ class System:
             )
 
         self._events = EventQueue()
-        self._ctrl_version = 0
         self._ctrl_scheduled: float | None = None
-        self._core_versions = [0] * len(self.cores)
         self._core_scheduled: list[float | None] = [None] * len(self.cores)
+        # One reusable wake callable per entity (no per-event closures).
+        self._core_fires = [
+            partial(self._fire_core, index) for index in range(len(self.cores))
+        ]
         self._now = 0.0
+        self.events_processed = 0
+        # Completion tracking: cores with an instruction target are
+        # "required"; a counter updated when a core stamps finish_time
+        # replaces an all-cores scan per event in the main loop.
+        self._core_finished = [False] * len(self.cores)
+        self._required = [False] * len(self.cores)
+        self._finished_required = 0
+        self._total_required = 0
 
     # ------------------------------------------------------------------
     # Event scheduling helpers.
@@ -104,50 +119,54 @@ class System:
     def _schedule_ctrl(self, time: float) -> None:
         if self._ctrl_scheduled is not None and self._ctrl_scheduled <= time:
             return
-        self._ctrl_version += 1
         self._ctrl_scheduled = time
-        version = self._ctrl_version
+        self._events.push(time, self._fire_ctrl)
 
-        def fire(now: float) -> None:
-            if version != self._ctrl_version:
-                return
-            self._ctrl_scheduled = None
-            wake = self.controller.step(now)
-            if wake < _NEVER:
-                self._schedule_ctrl(max(wake, now))
-
-        self._events.push(time, fire)
+    def _fire_ctrl(self, now: float) -> None:
+        if self._ctrl_scheduled != now:
+            return  # stale wake-up, superseded by an earlier one
+        self._ctrl_scheduled = None
+        wake = self.controller.step(now)
+        if wake < _NEVER:
+            self._schedule_ctrl(max(wake, now))
 
     def _schedule_core(self, index: int, time: float) -> None:
         scheduled = self._core_scheduled[index]
         if scheduled is not None and scheduled <= time:
             return
-        self._core_versions[index] += 1
         self._core_scheduled[index] = time
-        version = self._core_versions[index]
+        self._events.push(time, self._core_fires[index])
 
-        def fire(now: float) -> None:
-            if version != self._core_versions[index]:
-                return
-            self._core_scheduled[index] = None
-            enqueued_before = self.controller.total_enqueued
-            wake = self.cores[index].wake(now)
-            if self.controller.total_enqueued != enqueued_before:
-                # Injections created controller work.
-                self._schedule_ctrl(now)
-            if wake is not None:
-                self._schedule_core(index, max(wake, now))
-
-        self._events.push(time, fire)
+    def _fire_core(self, index: int, now: float) -> None:
+        if self._core_scheduled[index] != now:
+            return  # stale wake-up, superseded by an earlier one
+        self._core_scheduled[index] = None
+        enqueued_before = self.controller.total_enqueued
+        core = self.cores[index]
+        wake = core.wake(now)
+        if self.controller.total_enqueued != enqueued_before:
+            # Injections created controller work.
+            self._schedule_ctrl(now)
+        if wake is not None:
+            self._schedule_core(index, max(wake, now))
+        elif not self._core_finished[index] and core.finish_time is not None:
+            self._note_finished(index)
 
     def _on_request_complete(self, request: Request, done_time: float) -> None:
-        core = self.cores[request.thread]
+        self._events.push(done_time, partial(self._fire_complete, request))
 
-        def fire(now: float) -> None:
-            core.on_complete(request, now)
-            self._schedule_core(request.thread, now)
+    def _fire_complete(self, request: Request, now: float) -> None:
+        index = request.thread
+        core = self.cores[index]
+        core.on_complete(request, now)
+        self._schedule_core(index, now)
+        if not self._core_finished[index] and core.finish_time is not None:
+            self._note_finished(index)
 
-        self._events.push(done_time, fire)
+    def _note_finished(self, index: int) -> None:
+        self._core_finished[index] = True
+        if self._required[index]:
+            self._finished_required += 1
 
     # ------------------------------------------------------------------
     # Main loop.
@@ -181,32 +200,50 @@ class System:
         if not warming:
             for core, target in zip(self.cores, targets):
                 core.instructions_target = target
-        required = [
-            core for core, target in zip(self.cores, targets) if target is not None
-        ]
+        self._required = [target is not None for target in targets]
+        self._total_required = sum(self._required)
+        self._core_finished = [False] * len(self.cores)
+        self._finished_required = 0
         for index in range(len(self.cores)):
             self._schedule_core(index, 0.0)
         self._schedule_ctrl(0.0)
 
         measure_start = warmup_ns if warming else 0.0
-        while not self._events.empty:
-            if not warming and required and all(core.done for core in required):
-                break
-            next_time = self._events.peek_time()
-            if warming and next_time is not None and next_time > warmup_ns:
-                self._reset_measurement(warmup_ns, targets)
-                warming = False
-                continue
+        events = self._events
+        # The loop runs once per event (hundreds of thousands per
+        # simulation): completion is a counter comparison (cores bump
+        # ``_finished_required`` when they stamp finish_time), and the
+        # common post-warmup/no-deadline mode pops without peeking.
+        while True:
             if (
                 not warming
-                and max_time_ns is not None
-                and next_time is not None
-                and next_time > measure_start + max_time_ns
+                and self._total_required
+                and self._finished_required >= self._total_required
             ):
-                self._now = measure_start + max_time_ns
                 break
-            time, callback = self._events.pop()
+            if warming or max_time_ns is not None:
+                next_time = events.peek_time()
+                if next_time is None:
+                    break
+                if warming and next_time > warmup_ns:
+                    self._reset_measurement(warmup_ns, targets)
+                    warming = False
+                    continue
+                if (
+                    not warming
+                    and max_time_ns is not None
+                    and next_time > measure_start + max_time_ns
+                ):
+                    self._now = measure_start + max_time_ns
+                    break
+                time, callback = events.pop()
+            else:
+                try:
+                    time, callback = events.pop()
+                except IndexError:
+                    break
             self._now = time
+            self.events_processed += 1
             callback(time)
 
         return self._collect(self._now, measure_start)
@@ -216,6 +253,8 @@ class System:
         keeping all architectural and mechanism state."""
         for core, target in zip(self.cores, targets):
             core.reset_measurement(now, target)
+        self._core_finished = [False] * len(self.cores)
+        self._finished_required = 0
         from repro.dram.device import CommandCounts
         from repro.mem.controller import ThreadMemStats
 
@@ -256,4 +295,5 @@ class System:
             refreshes=sum(self.controller.refresh.refreshes_issued),
             victim_refreshes=self.controller.vref_count,
             commands_issued=self.controller.commands_issued,
+            events_processed=self.events_processed,
         )
