@@ -1,7 +1,10 @@
 #!/bin/sh
-# Fast perf smoke: one tiny sweep through the parallel experiment
-# executor (job pickling, pool fan-out, extractor transport, keyed
-# assembly).  Runs in seconds; part of tier-1 via the perf_smoke marker.
+# Fast perf smoke: tiny sweeps through the parallel experiment executor
+# (job pickling, pool fan-out, extractor transport, keyed assembly) and
+# through the persistent result cache — one 2-channel job goes through
+# the pool+cache path cold then warm, asserting the warm run performs
+# zero simulations.  Runs in seconds; part of tier-1 via the perf_smoke
+# marker.
 #
 # Usage: scripts/perf_smoke.sh [extra pytest args]
 set -e

@@ -33,7 +33,12 @@ class DramSpec:
     """
 
     name: str = "DDR4-2400"
-    # Geometry.
+    # Geometry.  ``channels`` is the number of independent channels the
+    # memory *system* fans out; every other geometry/timing field
+    # describes one channel (a :class:`~repro.dram.device.DramDevice`
+    # models exactly one channel and is instantiated per channel by the
+    # :class:`~repro.mem.memsystem.MemorySystem`).
+    channels: int = 1
     ranks: int = 1
     banks_per_rank: int = 16
     rows_per_bank: int = 65536
@@ -62,6 +67,7 @@ class DramSpec:
     refresh_groups: int = 8192  # REF commands per tREFW
 
     def __post_init__(self) -> None:
+        require(self.channels >= 1, "channels must be >= 1")
         require(self.ranks >= 1, "ranks must be >= 1")
         require(self.banks_per_rank >= 1, "banks_per_rank must be >= 1")
         require(self.rows_per_bank >= 2, "rows_per_bank must be >= 2")
@@ -74,20 +80,27 @@ class DramSpec:
     # ------------------------------------------------------------------
     @property
     def total_banks(self) -> int:
-        """Number of banks across all ranks of the channel."""
+        """Number of banks across all ranks of one channel."""
         return self.ranks * self.banks_per_rank
 
     @property
     def capacity_bytes(self) -> int:
-        """Total addressable bytes on the channel (addresses beyond this
-        wrap in :class:`~repro.dram.address.AddressMapping`)."""
+        """Total addressable bytes across all channels (addresses beyond
+        this wrap in :class:`~repro.dram.address.AddressMapping`)."""
         return (
-            self.ranks
+            self.channels
+            * self.ranks
             * self.banks_per_rank
             * self.rows_per_bank
             * self.columns_per_row
             * self.line_bytes
         )
+
+    def with_channels(self, channels: int) -> "DramSpec":
+        """This spec re-declared with ``channels`` memory channels."""
+        if channels == self.channels:
+            return self
+        return replace(self, channels=channels)
 
     @property
     def rows_per_refresh_group(self) -> int:

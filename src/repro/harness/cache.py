@@ -1,0 +1,240 @@
+"""Persistent cross-sweep result cache.
+
+Every :class:`~repro.harness.parallel.SimJob` is a pure function of its
+``key`` (configuration + workload + mechanism) and of the simulator
+source code.  This module stores finished :class:`JobResult`\\ s as JSON
+on disk, content-addressed by ``sha256(source_fingerprint + repr(key))``,
+so re-running an unchanged sweep (``fig4``/``fig5``/``fig6``/``rhli``/
+``sec84``/``table8``) performs **zero** simulations and returns
+bit-identical rows — floats survive the JSON round-trip exactly
+(``repr`` shortest-round-trip encoding).
+
+Invalidation is automatic and conservative: the fingerprint hashes every
+``repro`` source file, so *any* simulator change misses the whole cache.
+Manual invalidation is ``rm -rf .repro_cache/`` (or pointing
+``--cache-dir`` / ``REPRO_CACHE`` somewhere fresh).
+
+Activation (see :func:`resolve_cache`):
+
+* programmatic — pass a :class:`ResultCache` (or ``True``) to
+  ``run_jobs``/the experiment drivers;
+* CLI — ``--cache`` / ``--cache-dir DIR`` / ``--no-cache``;
+* environment — ``REPRO_CACHE=1`` (default directory), ``REPRO_CACHE=DIR``
+  (explicit directory), ``REPRO_CACHE=0``/unset (off).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from functools import lru_cache
+
+from repro.dram.device import CommandCounts
+from repro.dram.rowhammer import BitFlip
+from repro.energy.drampower import EnergyBreakdown
+from repro.mem.controller import ThreadMemStats
+from repro.sim.stats import ChannelResult, SimResult, ThreadResult
+
+#: Environment variable controlling cache activation (see module doc).
+CACHE_ENV = "REPRO_CACHE"
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bump when the JSON layout changes (old entries are ignored).
+_FORMAT = 1
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Hash of every ``repro`` source file (path + content).
+
+    Computed once per process; any simulator change produces a new
+    fingerprint and therefore a clean cache miss for every job.
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# JSON codecs.  Encoding is a recursive dataclasses.asdict; decoding
+# reconstructs the exact dataclass tree (field-for-field, so cached rows
+# compare equal to freshly-simulated ones).
+# ----------------------------------------------------------------------
+def _decode_thread(data: dict) -> ThreadResult:
+    return ThreadResult(
+        thread=data["thread"],
+        instructions=data["instructions"],
+        finish_time_ns=data["finish_time_ns"],
+        ipc=data["ipc"],
+        mem=ThreadMemStats(**data["mem"]),
+        mem_per_channel=[ThreadMemStats(**m) for m in data["mem_per_channel"]],
+    )
+
+
+def _decode_channel(data: dict) -> ChannelResult:
+    return ChannelResult(
+        channel=data["channel"],
+        counts=CommandCounts(**data["counts"]),
+        active_time_ns=data["active_time_ns"],
+        bitflips=data["bitflips"],
+        refreshes=data["refreshes"],
+        victim_refreshes=data["victim_refreshes"],
+        commands_issued=data["commands_issued"],
+        refresh_phase_ns=data["refresh_phase_ns"],
+    )
+
+
+def _decode_result(data: dict) -> SimResult:
+    return SimResult(
+        mitigation=data["mitigation"],
+        threads=[_decode_thread(t) for t in data["threads"]],
+        elapsed_ns=data["elapsed_ns"],
+        counts=CommandCounts(**data["counts"]),
+        active_time_ns=data["active_time_ns"],
+        bitflips=[BitFlip(**b) for b in data["bitflips"]],
+        refreshes=data["refreshes"],
+        victim_refreshes=data["victim_refreshes"],
+        commands_issued=data["commands_issued"],
+        events_processed=data["events_processed"],
+        channels=[_decode_channel(c) for c in data["channels"]],
+    )
+
+
+def _decode_delay_stats(data: dict):
+    from repro.core.rowblocker import DelayStats
+
+    return DelayStats(**data)
+
+
+#: Extras codecs by extractor name: (encode, decode).  Every extractor
+#: in :data:`repro.harness.parallel.EXTRACTORS` must be registered here
+#: — enforced by an import-time check in that module — otherwise jobs
+#: requesting it would be silently uncacheable.
+_EXTRA_CODECS = {
+    "thread_rhli": (lambda v: v, lambda v: v),
+    "delay_stats": (dataclasses.asdict, _decode_delay_stats),
+}
+
+#: Extractor names the cache can round-trip (see the check in
+#: ``repro.harness.parallel``).
+CACHEABLE_EXTRAS = frozenset(_EXTRA_CODECS)
+
+
+class ResultCache:
+    """Content-addressed on-disk store of finished :class:`JobResult`\\ s.
+
+    One JSON file per job, named by
+    ``sha256(fingerprint | repr(job.key))``; the stored key repr is
+    re-verified on load so a truncated-hash collision can never serve the
+    wrong simulation.
+    """
+
+    def __init__(self, root: str | os.PathLike, fingerprint: str | None = None) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or source_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, job) -> pathlib.Path:
+        name = hashlib.sha256(
+            f"{self.fingerprint}|{job.key!r}".encode()
+        ).hexdigest()[:40]
+        return self.root / f"{name}.json"
+
+    def get(self, job):
+        """The cached :class:`JobResult` for ``job``, or None.
+
+        A hit requires the fingerprint and key to match exactly and the
+        stored extras to cover everything ``job.extract`` requests.
+        """
+        from repro.harness.parallel import JobResult
+
+        path = self._path(job)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            data.get("format") != _FORMAT
+            or data.get("fingerprint") != self.fingerprint
+            or data.get("key") != repr(job.key)
+            or not set(job.extract) <= set(data.get("extras", {}))
+        ):
+            self.misses += 1
+            return None
+        extras = {
+            name: _EXTRA_CODECS[name][1](value)
+            for name, value in data["extras"].items()
+            if name in _EXTRA_CODECS
+        }
+        self.hits += 1
+        return JobResult(
+            key=job.key,
+            mechanism_name=data["mechanism_name"],
+            result=_decode_result(data["result"]),
+            energy=EnergyBreakdown(**data["energy"]),
+            extras=extras,
+        )
+
+    def put(self, job, result) -> None:
+        """Store a finished job (atomic write; unknown extras are
+        skipped rather than failing the run)."""
+        extras = {
+            name: _EXTRA_CODECS[name][0](value)
+            for name, value in result.extras.items()
+            if name in _EXTRA_CODECS
+        }
+        data = {
+            "format": _FORMAT,
+            "fingerprint": self.fingerprint,
+            "key": repr(job.key),
+            "mechanism_name": result.mechanism_name,
+            "result": dataclasses.asdict(result.result),
+            "energy": dataclasses.asdict(result.energy),
+            "extras": extras,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(job)
+        # Per-writer temp name: concurrent processes sharing a cache
+        # directory must never interleave writes into one temp file.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(data))
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+def resolve_cache(cache) -> ResultCache | None:
+    """Normalize a cache argument into a :class:`ResultCache` or None.
+
+    ``cache`` may be a ResultCache (used as-is), ``True`` (default
+    directory), ``False`` (explicitly off, overriding the environment),
+    or ``None`` (defer to ``REPRO_CACHE``: ``1`` → default directory, a
+    path → that directory, ``0``/empty/unset → off).
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is True:
+        return ResultCache(DEFAULT_CACHE_DIR)
+    if cache is False:
+        return None
+    env = os.environ.get(CACHE_ENV, "").strip()
+    if not env or env == "0":
+        return None
+    if env == "1":
+        return ResultCache(DEFAULT_CACHE_DIR)
+    return ResultCache(env)

@@ -18,6 +18,7 @@ import argparse
 
 from repro.core.config import BlockHammerConfig
 from repro.harness import experiments
+from repro.harness.cache import ResultCache
 from repro.harness.reporting import format_table
 from repro.harness.runner import HarnessConfig
 from repro.hwcost.mechanisms import table4_rows
@@ -28,9 +29,22 @@ def _hcfg(args) -> HarnessConfig:
     return HarnessConfig(
         scale=args.scale,
         paper_nrh=args.nrh,
+        num_channels=args.channels,
         instructions_per_thread=args.instructions,
         warmup_ns=args.warmup_us * 1000.0,
     )
+
+
+def _cache(args):
+    """The cache argument for the experiment drivers: an explicit flag
+    wins; otherwise None defers to the REPRO_CACHE environment."""
+    if args.no_cache:
+        return False
+    if args.cache_dir:
+        return ResultCache(args.cache_dir)
+    if args.cache:
+        return True
+    return None
 
 
 def cmd_table1(args) -> str:
@@ -73,7 +87,9 @@ def cmd_table4(args) -> str:
 
 
 def cmd_fig4(args) -> str:
-    rows = experiments.fig4_singlecore(_hcfg(args), args.apps, workers=args.workers)
+    rows = experiments.fig4_singlecore(
+        _hcfg(args), args.apps, workers=args.workers, cache=_cache(args)
+    )
     means = experiments.fig4_group_means(rows)
     return format_table(
         ["category", "mechanism", "norm time", "norm energy"],
@@ -86,7 +102,7 @@ def cmd_fig4(args) -> str:
 
 def cmd_fig5(args) -> str:
     rows = experiments.fig5_multicore(
-        _hcfg(args), num_mixes=args.mixes, workers=args.workers
+        _hcfg(args), num_mixes=args.mixes, workers=args.workers, cache=_cache(args)
     )
     summary = experiments.summarize_mix_rows(rows)
     return format_table(
@@ -108,7 +124,7 @@ def cmd_fig5(args) -> str:
 
 def cmd_rhli(args) -> str:
     rows = experiments.rhli_experiment(
-        _hcfg(args), num_mixes=args.mixes, workers=args.workers
+        _hcfg(args), num_mixes=args.mixes, workers=args.workers, cache=_cache(args)
     )
     return format_table(
         ["mode", "attacker mean", "attacker max", "benign max"],
@@ -125,7 +141,9 @@ def cmd_rhli(args) -> str:
 
 
 def cmd_table8(args) -> str:
-    rows = experiments.table8_calibration(_hcfg(args), args.apps, workers=args.workers)
+    rows = experiments.table8_calibration(
+        _hcfg(args), args.apps, workers=args.workers, cache=_cache(args)
+    )
     return format_table(
         ["app", "cat", "MPKI target", "MPKI", "RBCPKI target", "RBCPKI"],
         [
@@ -174,6 +192,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="simulation worker processes (default: REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="memory channels, one controller + mitigation instance each "
+        "(default: the spec's channel count)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse cached results from .repro_cache/ (also REPRO_CACHE=1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force the result cache off, overriding REPRO_CACHE",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (implies --cache)",
     )
     return parser
 

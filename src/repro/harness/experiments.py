@@ -58,11 +58,12 @@ def fig4_singlecore(
     app_names: list[str] | None = None,
     mechanisms: list[str] | None = None,
     workers: int | None = None,
+    cache=None,
 ) -> list[dict]:
     """Rows: app, category, mechanism, norm_time, norm_energy."""
     mechanisms = mechanisms or PAPER_MECHANISMS
     apps = app_names or [p.name for p in TABLE8_PROFILES]
-    results = run_jobs(fig4_jobs(hcfg, apps, mechanisms), workers)
+    results = run_jobs(fig4_jobs(hcfg, apps, mechanisms), workers, cache=cache)
     rows = []
     for app in apps:
         profile = next(p for p in TABLE8_PROFILES if p.name == app)
@@ -198,6 +199,7 @@ def run_mix_sweep(
     scenario: str,
     runner: Runner | None = None,
     workers: int | None = None,
+    cache=None,
 ) -> list[MixOutcomeRow]:
     """Run every (mix, mechanism) pair plus the shared baseline.
 
@@ -206,7 +208,7 @@ def run_mix_sweep(
     """
     del runner
     jobs = mix_sweep_jobs(hcfg, mixes, mechanisms)
-    results = run_jobs(jobs, workers)
+    results = run_jobs(jobs, workers, cache=cache)
     return assemble_mix_rows(hcfg, mixes, mechanisms, scenario, results)
 
 
@@ -215,6 +217,7 @@ def fig5_multicore(
     num_mixes: int = 3,
     mechanisms: list[str] | None = None,
     workers: int | None = None,
+    cache=None,
 ) -> list[MixOutcomeRow]:
     """Both Figure 5 scenarios over ``num_mixes`` mixes each.
 
@@ -228,7 +231,7 @@ def fig5_multicore(
     jobs = mix_sweep_jobs(hcfg, benign, mechanisms) + mix_sweep_jobs(
         hcfg, attack, mechanisms
     )
-    results = run_jobs(jobs, workers)
+    results = run_jobs(jobs, workers, cache=cache)
     rows = assemble_mix_rows(hcfg, benign, mechanisms, "no-attack", results)
     rows += assemble_mix_rows(hcfg, attack, mechanisms, "attack", results)
     return rows
@@ -272,6 +275,7 @@ def fig6_scaling(
     num_mixes: int = 2,
     mechanisms: list[str] | None = None,
     workers: int | None = None,
+    cache=None,
 ) -> list[dict]:
     """Figure 6: normalized metrics vs NRH, both scenarios.
 
@@ -287,7 +291,7 @@ def fig6_scaling(
     for _, nrh_cfg in points:
         jobs += mix_sweep_jobs(nrh_cfg, benign, mechanisms)
         jobs += mix_sweep_jobs(nrh_cfg, attack, mechanisms)
-    results = run_jobs(jobs, workers)
+    results = run_jobs(jobs, workers, cache=cache)
     out = []
     for paper_nrh, nrh_cfg in points:
         rows = assemble_mix_rows(nrh_cfg, benign, mechanisms, "no-attack", results)
@@ -302,7 +306,10 @@ def fig6_scaling(
 # Section 3.2.1 — RHLI of benign vs attack threads.
 # ----------------------------------------------------------------------
 def rhli_experiment(
-    hcfg: HarnessConfig, num_mixes: int = 2, workers: int | None = None
+    hcfg: HarnessConfig,
+    num_mixes: int = 2,
+    workers: int | None = None,
+    cache=None,
 ) -> list[dict]:
     """RHLI statistics in observe-only and full-functional modes."""
     modes = ("blockhammer-observe", "blockhammer")
@@ -312,7 +319,7 @@ def rhli_experiment(
         for mode in modes
         for mix in mixes
     ]
-    results = run_jobs(jobs, workers)
+    results = run_jobs(jobs, workers, cache=cache)
     rows = []
     for mode in modes:
         attacker_rhli = []
@@ -340,7 +347,10 @@ def rhli_experiment(
 # Section 8.4 — false positives and delay distribution.
 # ----------------------------------------------------------------------
 def sec84_internals(
-    hcfg: HarnessConfig, num_mixes: int = 2, workers: int | None = None
+    hcfg: HarnessConfig,
+    num_mixes: int = 2,
+    workers: int | None = None,
+    cache=None,
 ) -> dict:
     """BlockHammer's false-positive rate and delay percentiles over
     benign multiprogrammed workloads."""
@@ -348,7 +358,7 @@ def sec84_internals(
     jobs = [
         mix_job(hcfg, mix, "blockhammer", extract=("delay_stats",)) for mix in mixes
     ]
-    results = run_jobs(jobs, workers)
+    results = run_jobs(jobs, workers, cache=cache)
     total_acts = 0
     fp_acts = 0
     delays: list[float] = []
@@ -382,11 +392,12 @@ def table8_calibration(
     hcfg: HarnessConfig,
     app_names: list[str] | None = None,
     workers: int | None = None,
+    cache=None,
 ) -> list[dict]:
     """Measured vs target MPKI/RBCPKI for the benign generator."""
     apps = app_names or [p.name for p in TABLE8_PROFILES]
     jobs = [single_job(hcfg, app, "none") for app in apps]
-    results = run_jobs(jobs, workers)
+    results = run_jobs(jobs, workers, cache=cache)
     rows = []
     for app in apps:
         profile = next(p for p in TABLE8_PROFILES if p.name == app)

@@ -23,6 +23,12 @@ job lists that fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 Drivers in :mod:`repro.harness.experiments` follow a declare-jobs →
 execute → assemble-rows shape on top of these primitives.
 
+On top of in-batch deduplication, :func:`run_jobs` can consult the
+persistent cross-sweep result cache (:mod:`repro.harness.cache`): jobs
+whose key + source fingerprint match a stored entry are returned from
+disk before any dispatch, so re-running an unchanged sweep performs
+zero simulations and yields bit-identical rows.
+
 Mechanism objects hold closures (the adjacency oracle) and cannot cross
 a process boundary; anything a driver needs from the mechanism after
 the run is declared up front via ``SimJob.extract`` and computed inside
@@ -36,8 +42,10 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.energy.drampower import EnergyBreakdown
+from repro.harness.cache import CACHEABLE_EXTRAS, ResultCache, resolve_cache
 from repro.harness.runner import HarnessConfig, Runner, RunOutcome
 from repro.sim.stats import SimResult
+from repro.utils.aggregate import merge_fields
 from repro.workloads.mixes import WorkloadMix
 
 #: Environment variable consulted when a driver does not pass an
@@ -48,14 +56,25 @@ JobKey = tuple
 
 
 def _extract_delay_stats(outcome: RunOutcome):
-    """BlockHammer's Section 8.4 delay statistics (a plain dataclass)."""
-    return outcome.mechanism.delay_stats()
+    """BlockHammer's Section 8.4 delay statistics, merged over the
+    per-channel mechanism instances (counter sums, delay-list concat)."""
+    parts = [mechanism.delay_stats() for mechanism in outcome.mechanisms]
+    if len(parts) == 1:
+        return parts[0]
+    from repro.core.rowblocker import DelayStats
+
+    merged = DelayStats()
+    for part in parts:
+        merge_fields(merged, part)  # counters sum, delay lists concat
+    return merged
 
 
 def _extract_thread_rhli(outcome: RunOutcome) -> list[float]:
-    """Per-thread maximum RHLI at end of run (Section 3.2.1)."""
+    """Per-thread maximum RHLI at end of run (Section 3.2.1), maxed over
+    the per-channel mechanism instances (the paper's RHLI is the worst
+    exposure anywhere in the system)."""
     return [
-        outcome.mechanism.thread_max_rhli(thread)
+        max(mechanism.thread_max_rhli(thread) for mechanism in outcome.mechanisms)
         for thread in range(len(outcome.result.threads))
     ]
 
@@ -66,6 +85,16 @@ EXTRACTORS = {
     "delay_stats": _extract_delay_stats,
     "thread_rhli": _extract_thread_rhli,
 }
+
+# Every extractor must have a cache codec, or jobs requesting it would
+# be silently uncacheable (each re-run would miss and re-simulate).
+# Fail loudly at import time instead.
+_UNCACHEABLE = set(EXTRACTORS) - CACHEABLE_EXTRAS
+if _UNCACHEABLE:
+    raise RuntimeError(
+        f"extractors without a cache codec in repro.harness.cache: "
+        f"{sorted(_UNCACHEABLE)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -137,8 +166,21 @@ def _runner_for(hcfg: HarnessConfig) -> Runner:
     return runner
 
 
+#: Simulations actually executed in this process (cache hits do not
+#: count).  Tests and the perf smoke assert a warm-cache sweep leaves
+#: this untouched.
+JOB_EXECUTIONS = 0
+
+
+def job_executions() -> int:
+    """Simulations executed in this process so far."""
+    return JOB_EXECUTIONS
+
+
 def execute_job(job: SimJob) -> JobResult:
     """Run one job to completion (callable in any process)."""
+    global JOB_EXECUTIONS
+    JOB_EXECUTIONS += 1
     runner = _runner_for(job.hcfg)
     if job.kind == "single":
         outcome = runner.run_single(job.app, job.mechanism, slot=job.slot)
@@ -162,7 +204,15 @@ def resolve_workers(workers: int | None) -> int:
     else 1 (serial)."""
     if workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
-        workers = int(env) if env else 1
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = 1
     return max(1, workers)
 
 
@@ -192,6 +242,7 @@ def run_jobs(
     jobs: list[SimJob],
     workers: int | None = None,
     chunksize: int = 1,
+    cache: ResultCache | bool | None = None,
 ) -> dict[JobKey, JobResult]:
     """Execute ``jobs`` (deduplicated) and return results by job key.
 
@@ -201,8 +252,41 @@ def run_jobs(
     content is identical either way — each job is a self-contained
     deterministic simulation — and the returned mapping lets callers
     assemble rows in declaration order, independent of completion order.
+
+    ``cache`` activates the persistent cross-sweep result cache (see
+    :mod:`repro.harness.cache`): pass a :class:`ResultCache`, ``True``
+    for the default directory, ``False`` to force it off, or ``None`` to
+    defer to the ``REPRO_CACHE`` environment variable.  Cached jobs are
+    resolved before dispatch — a fully warm sweep performs zero
+    simulations — and fresh results are stored after execution (in the
+    dispatching process; workers never touch the cache directory).
     """
     ordered = dedupe_jobs(jobs)
+    store = resolve_cache(cache)
+    results: dict[JobKey, JobResult] = {}
+    pending = ordered
+    if store is not None:
+        pending = []
+        for job in ordered:
+            hit = store.get(job)
+            if hit is not None:
+                results[job.key] = hit
+            else:
+                pending.append(job)
+    fresh = _execute_jobs(pending, workers, chunksize)
+    if store is not None:
+        for job in pending:
+            store.put(job, fresh[job.key])
+    results.update(fresh)
+    return results
+
+
+def _execute_jobs(
+    ordered: list[SimJob], workers: int | None, chunksize: int
+) -> dict[JobKey, JobResult]:
+    """Execute deduplicated jobs, over a pool when possible."""
+    if not ordered:
+        return {}
     count = resolve_workers(workers)
     if count > 1 and len(ordered) > 1:
         spawned = False
@@ -237,8 +321,13 @@ def single_key(hcfg: HarnessConfig, app: str, slot: int, mechanism: str) -> JobK
 
 
 def mix_key(hcfg: HarnessConfig, mix: WorkloadMix, mechanism: str) -> JobKey:
-    """Key for a multiprogrammed mix under a mechanism."""
-    return ("mix", hcfg, mix.name, mix.app_names, mechanism)
+    """Key for a multiprogrammed mix under a mechanism.
+
+    Covers every field that defines the simulation — ``has_attack``
+    changes core parameters and completion targets, so two mixes
+    differing only there must not share a key.
+    """
+    return ("mix", hcfg, mix.name, mix.app_names, mix.has_attack, mechanism)
 
 
 def single_job(

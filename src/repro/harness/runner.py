@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 from functools import lru_cache
 
 from repro.cpu.core import CoreParams
-from repro.dram.address import AddressMapping, MappingScheme
+from repro.dram.address import AddressMapping, MappingScheme, shared_mapping
 from repro.dram.rowhammer import DisturbanceProfile
 from repro.dram.spec import DDR4_2400, DramSpec, scaled_threshold
 from repro.energy.drampower import EnergyBreakdown, EnergyModel
@@ -42,10 +42,17 @@ def _scaled_spec(base_spec: DramSpec, scale: float) -> DramSpec:
     return base_spec.scaled(scale)
 
 
-@lru_cache(maxsize=None)
 def _mop_mapping(spec: DramSpec) -> AddressMapping:
-    """MOP address mapping per spec, memoized (stateless after init)."""
-    return AddressMapping(spec, MappingScheme.MOP)
+    """The process-wide MOP mapping for a spec — the same instance the
+    System uses, so trace encoding and core decoding share one memo."""
+    return shared_mapping(spec, MappingScheme.MOP)
+
+
+@lru_cache(maxsize=None)
+def _channel_spec(spec: DramSpec, channels: int) -> DramSpec:
+    """``spec`` re-declared with ``channels`` channels, memoized so the
+    mapping/trace caches keyed by spec identity keep hitting."""
+    return spec.with_channels(channels)
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,12 @@ class HarnessConfig:
     scale: float = 128.0
     paper_nrh: int = 32768
     base_spec: DramSpec = DDR4_2400
+    #: Memory channels (one controller + device shard + mitigation
+    #: instance per channel; requests interleave across channels at
+    #: MOP-run granularity).  ``None`` defers to ``base_spec.channels``
+    #: (matching ``SystemConfig.num_channels`` semantics); an explicit
+    #: value overrides the spec.
+    num_channels: int | None = None
     instructions_per_thread: int = 120_000
     rowmap_kind: str = "linear"
     seed: int = 1
@@ -109,8 +122,20 @@ class HarnessConfig:
             return {"levels": 6 + extra, "counter_budget": 125 + 16 * extra}
         return {}
 
+    @property
+    def channels(self) -> int:
+        """Effective channel count (explicit override, else the spec's)."""
+        return (
+            self.num_channels
+            if self.num_channels is not None
+            else self.base_spec.channels
+        )
+
     def spec(self) -> DramSpec:
-        return _scaled_spec(self.base_spec, self.scale)
+        spec = _scaled_spec(self.base_spec, self.scale)
+        if self.channels != spec.channels:
+            spec = _channel_spec(spec, self.channels)
+        return spec
 
     def with_nrh(self, paper_nrh: int) -> "HarnessConfig":
         return replace(self, paper_nrh=paper_nrh)
@@ -123,6 +148,7 @@ class HarnessConfig:
     def system_config(self) -> SystemConfig:
         return SystemConfig(
             spec=self.spec(),
+            num_channels=self.channels,
             disturbance=self.disturbance(),
             rowmap_kind=self.rowmap_kind,
             seed=self.seed,
@@ -134,12 +160,20 @@ class HarnessConfig:
 
 @dataclass
 class RunOutcome:
-    """One simulation's results plus derived energy and the mechanism."""
+    """One simulation's results plus derived energy and the per-channel
+    mechanism instances."""
 
     mechanism_name: str
     result: SimResult
     energy: EnergyBreakdown
-    mechanism: MitigationMechanism
+    #: One mitigation instance per memory channel (state is never shared
+    #: across channels; aggregate with max/sum as the statistic demands).
+    mechanisms: tuple[MitigationMechanism, ...]
+
+    @property
+    def mechanism(self) -> MitigationMechanism:
+        """The channel-0 mechanism (the whole system on 1-channel runs)."""
+        return self.mechanisms[0]
 
     @property
     def bitflips(self) -> int:
@@ -162,18 +196,18 @@ class Runner:
         adjacency_override: AdjacencyOracle | None = None,
         core_params_per_thread: list | None = None,
         **mechanism_kwargs,
-    ) -> tuple[System, MitigationMechanism]:
+    ) -> System:
         kwargs = dict(self.hcfg.mechanism_kwargs(mechanism_name))
         kwargs.update(mechanism_kwargs)
-        mechanism = build_mitigation(mechanism_name, **kwargs)
         system = System(
             self.hcfg.system_config(),
             traces,
-            mechanism,
+            # One fresh mechanism per channel: state is never shared.
+            mitigation_factory=lambda: build_mitigation(mechanism_name, **kwargs),
             adjacency_override=adjacency_override,
             core_params_per_thread=core_params_per_thread,
         )
-        return system, mechanism
+        return system
 
     def run_traces(
         self,
@@ -185,7 +219,7 @@ class Runner:
         **mechanism_kwargs,
     ) -> RunOutcome:
         """Run arbitrary traces under a mechanism."""
-        system, mechanism = self._build_system(
+        system = self._build_system(
             traces,
             mechanism_name,
             adjacency_override,
@@ -203,7 +237,7 @@ class Runner:
             mechanism_name=mechanism_name,
             result=result,
             energy=self.energy_model.energy_of(result),
-            mechanism=mechanism,
+            mechanisms=tuple(system.mitigations),
         )
 
     # ------------------------------------------------------------------

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.utils.aggregate import merge_fields
+
 from repro.dram.commands import Command, CommandKind
 from repro.dram.device import DramDevice
 from repro.dram.spec import DramSpec
@@ -77,6 +79,15 @@ class ThreadMemStats:
         total = self.row_hits + self.row_misses + self.row_conflicts
         return self.row_hits / total if total else 0.0
 
+    @classmethod
+    def merged(cls, parts: "list[ThreadMemStats]") -> "ThreadMemStats":
+        """Sum per-channel statistics into one aggregate (the
+        average-latency property recomputes from the merged sums)."""
+        out = cls()
+        for part in parts:
+            merge_fields(out, part)
+        return out
+
 
 class MemoryController:
     """One channel's memory controller."""
@@ -89,8 +100,11 @@ class MemoryController:
         policy: SchedulingPolicy | None = None,
         config: ControllerConfig | None = None,
         num_threads: int = 1,
+        channel_id: int = 0,
+        refresh_phase_ns: float = 0.0,
     ) -> None:
         self.spec = spec
+        self.channel_id = channel_id
         self.device = device
         self.mitigation = mitigation or NoMitigation()
         self.policy = policy or FrFcfsPolicy()
@@ -102,7 +116,9 @@ class MemoryController:
         # and a C-level len() beats a method call there.
         self._read_items = self.read_queue.items
         self._write_items = self.write_queue.items
-        self.refresh = RefreshManager(spec, self.mitigation.refresh_interval_scale())
+        self.refresh = RefreshManager(
+            spec, self.mitigation.refresh_interval_scale(), refresh_phase_ns
+        )
         self.num_threads = num_threads
         self.thread_stats = [ThreadMemStats() for _ in range(num_threads)]
         self.on_request_complete = None  # set by the System

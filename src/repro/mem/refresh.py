@@ -17,16 +17,31 @@ from repro.utils.validation import require
 
 
 class RefreshManager:
-    """Tracks per-rank REF deadlines."""
+    """Tracks per-rank REF deadlines.
 
-    def __init__(self, spec: DramSpec, interval_scale: float = 1.0) -> None:
+    ``phase_offset_ns`` shifts every deadline by a fixed amount; the
+    MemorySystem staggers per-channel offsets (deterministically from
+    the experiment seed) so a multi-channel system does not refresh all
+    channels in lockstep — lockstep refresh is unrealistic and hides
+    bank-conflict effects during the refresh shadow.
+    """
+
+    def __init__(
+        self,
+        spec: DramSpec,
+        interval_scale: float = 1.0,
+        phase_offset_ns: float = 0.0,
+    ) -> None:
         require(interval_scale > 0.0, "refresh interval scale must be positive")
+        require(phase_offset_ns >= 0.0, "refresh phase offset must be >= 0")
         self.spec = spec
         self.interval = spec.tREFI * interval_scale
+        self.phase_offset_ns = phase_offset_ns
         # Stagger rank deadlines so multi-rank channels do not refresh
         # simultaneously.
         self.next_due = [
-            self.interval * (1.0 + r / max(1, spec.ranks)) for r in range(spec.ranks)
+            phase_offset_ns + self.interval * (1.0 + r / max(1, spec.ranks))
+            for r in range(spec.ranks)
         ]
         self.refreshes_issued = [0] * spec.ranks
 

@@ -58,6 +58,7 @@ class Request:
     blocked_until: float = 0.0
     blocked_wake: float = 0.0
     is_write: bool = field(init=False)
+    channel: int = field(init=False)
     rank: int = field(init=False)
     bank: int = field(init=False)
     row: int = field(init=False)
@@ -66,9 +67,11 @@ class Request:
 
     def __post_init__(self) -> None:
         # Denormalized plain attributes: these are read in the
-        # scheduler's innermost loop, where a property or a nested
-        # dataclass hop per access is measurable.
+        # scheduler's innermost loop (and the MemorySystem's channel
+        # router), where a property or a nested dataclass hop per
+        # access is measurable.
         self.is_write = self.kind is RequestKind.WRITE
+        self.channel = self.address.channel
         self.rank = self.address.rank
         self.bank = self.address.bank
         self.row = self.address.row

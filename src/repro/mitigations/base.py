@@ -51,6 +51,10 @@ class MitigationContext:
     nrh: int = 32768
     blast_radius: int = 1
     blast_decay: float = 0.5
+    #: The memory channel this mechanism instance protects.  BlockHammer
+    #: is deployed per channel (Section 3); the MemorySystem builds one
+    #: mechanism instance per channel and never shares state across them.
+    channel: int = 0
 
 
 class MitigationMechanism:

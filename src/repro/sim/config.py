@@ -28,6 +28,10 @@ class SystemConfig:
     """
 
     spec: DramSpec = DDR4_2400
+    #: Memory channels the system instantiates (one controller + DRAM
+    #: device shard + mitigation instance per channel).  ``None`` defers
+    #: to ``spec.channels``; an explicit value overrides the spec.
+    num_channels: int | None = None
     mapping_scheme: MappingScheme = MappingScheme.MOP
     mop_run: int = 4
     controller: ControllerConfig = field(default_factory=ControllerConfig)
@@ -39,6 +43,20 @@ class SystemConfig:
     llc_bytes: int = 16 * 1024 * 1024
     llc_ways: int = 8
     seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_channels is not None and self.num_channels < 1:
+            raise ConfigError("num_channels must be >= 1")
+
+    @property
+    def channels(self) -> int:
+        """Effective channel count (explicit override, else the spec's)."""
+        return self.num_channels if self.num_channels is not None else self.spec.channels
+
+    def effective_spec(self) -> DramSpec:
+        """The spec with the effective channel count applied, so the
+        address mapping and the MemorySystem agree on channel bits."""
+        return self.spec.with_channels(self.channels)
 
     def build_rowmap(self) -> RowMapping:
         """Instantiate the configured in-DRAM row mapping."""

@@ -10,14 +10,36 @@ from repro.mem.controller import ThreadMemStats
 
 
 @dataclass
+class ChannelResult:
+    """Per-channel outcome of one simulation (one row per memory
+    channel; the aggregate lives on :class:`SimResult` itself)."""
+
+    channel: int
+    counts: CommandCounts
+    active_time_ns: list[float]
+    bitflips: int
+    refreshes: int
+    victim_refreshes: int
+    commands_issued: int
+    refresh_phase_ns: float = 0.0
+
+
+@dataclass
 class ThreadResult:
-    """Per-thread outcome of one simulation."""
+    """Per-thread outcome of one simulation.
+
+    ``mem`` aggregates the thread's memory statistics across channels;
+    ``mem_per_channel`` carries the per-channel rows when the system has
+    more than one channel (empty on single-channel runs, whose aggregate
+    *is* the per-channel row).
+    """
 
     thread: int
     instructions: int
     finish_time_ns: float
     ipc: float
     mem: ThreadMemStats
+    mem_per_channel: list[ThreadMemStats] = field(default_factory=list)
 
     @property
     def mpki(self) -> float:
@@ -51,6 +73,13 @@ class SimResult:
     #: excluded from result-equality comparisons by value symmetry —
     #: identical simulations process identical event streams).
     events_processed: int = 0
+    #: One statistics row per memory channel (aggregates above are the
+    #: sums/maxes over these; RHLI maxes live in the harness extractors).
+    channels: list[ChannelResult] = field(default_factory=list)
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels) or 1
 
     @property
     def total_instructions(self) -> int:

@@ -1,9 +1,10 @@
 """System wiring and the event-driven simulation loop.
 
-A :class:`System` assembles the DRAM device, memory controller, cores,
-and the RowHammer mitigation mechanism from a :class:`SystemConfig`, and
-drives them to completion with a discrete-event loop.  Each entity
-(controller, core) is woken only when it can make progress; a wake-up
+A :class:`System` assembles the channel-sharded memory system (one
+controller + DRAM device shard + mitigation instance per channel, see
+:class:`~repro.mem.memsystem.MemorySystem`), the cores, and drives them
+to completion with a discrete-event loop.  Each entity (per-channel
+controller, core) is woken only when it can make progress; a wake-up
 is recognized as stale when the entity's recorded next-wake time no
 longer matches the event's time, so the loop never executes an entity
 twice for the same logical event.  Wake-up events reuse one bound
@@ -18,14 +19,12 @@ from functools import partial
 from repro.cpu.cache import SetAssocCache
 from repro.cpu.core import Core
 from repro.cpu.trace import Trace
-from repro.dram.address import AddressMapping
-from repro.dram.device import DramDevice
-from repro.mem.controller import MemoryController
+from repro.dram.address import shared_mapping
+from repro.mem.memsystem import MemorySystem, MitigationFactory
 from repro.mem.request import Request
 from repro.mem.scheduler import FrFcfsPolicy, SchedulingPolicy
 from repro.mitigations.base import (
     AdjacencyOracle,
-    MitigationContext,
     MitigationMechanism,
     NoMitigation,
 )
@@ -33,12 +32,13 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import EventQueue
 from repro.sim.stats import SimResult, ThreadResult
 from repro.utils.rng import DeterministicRng
+from repro.utils.validation import ConfigError
 
 _NEVER = 1.0e30
 
 
 class System:
-    """A complete simulated machine: cores + controller + DRAM."""
+    """A complete simulated machine: cores + N channel shards."""
 
     def __init__(
         self,
@@ -48,44 +48,50 @@ class System:
         policy: SchedulingPolicy | None = None,
         adjacency_override: AdjacencyOracle | None = None,
         core_params_per_thread: list | None = None,
+        mitigation_factory: MitigationFactory | None = None,
     ) -> None:
+        """``mitigation_factory`` builds one fresh mechanism per channel
+        (required for multi-channel systems, where mitigation state must
+        not be shared).  Passing a single ``mitigation`` instance remains
+        supported for single-channel systems only."""
         self.config = config
         self.rng = DeterministicRng(config.seed)
-        rowmap = config.build_rowmap()
-        self.device = DramDevice(config.spec, rowmap, config.disturbance)
-        self.mitigation = mitigation or NoMitigation()
-        self.mapping = AddressMapping(config.spec, config.mapping_scheme, config.mop_run)
+        spec = config.effective_spec()
+        self.mapping = shared_mapping(spec, config.mapping_scheme, config.mop_run)
 
-        def true_adjacency(rank: int, bank: int, row: int, distance: int) -> list[int]:
-            # Rank/bank are accepted for interface generality; the row
-            # mapping is uniform across banks in this model.
-            return rowmap.logical_neighbors(row, distance)
-
-        context = MitigationContext(
-            spec=config.spec,
+        if mitigation_factory is None:
+            if mitigation is None:
+                mitigation_factory = NoMitigation
+            elif config.channels == 1:
+                instance = mitigation
+                mitigation_factory = lambda: instance  # noqa: E731
+            else:
+                raise ConfigError(
+                    "multi-channel systems need a mitigation_factory: a single "
+                    "mitigation instance cannot be shared across channels"
+                )
+        self.memsys = MemorySystem(
+            config,
             num_threads=len(traces),
-            rng=self.rng.fork("mitigation"),
-            adjacency=adjacency_override or true_adjacency,
-            nrh=config.disturbance.nrh,
-            blast_radius=config.disturbance.blast_radius,
-            blast_decay=config.disturbance.decay,
+            mitigation_factory=mitigation_factory,
+            policy=policy or FrFcfsPolicy(),
+            adjacency_override=adjacency_override,
+            rng=self.rng,
         )
-        self.mitigation.attach(context)
-
-        self.controller = MemoryController(
-            config.spec,
-            self.device,
-            self.mitigation,
-            policy or FrFcfsPolicy(),
-            config.controller,
-            num_threads=len(traces),
-        )
-        self.controller.on_request_complete = self._on_request_complete
+        self.controllers = self.memsys.controllers
+        for controller in self.controllers:
+            controller.on_request_complete = self._on_request_complete
+        # Single-channel aliases (the common configuration, and what the
+        # pre-sharding tests and examples address).
+        self.controller = self.controllers[0]
+        self.device = self.memsys.devices[0]
+        self.mitigation = self.memsys.mitigations[0]
+        self.mitigations = self.memsys.mitigations
 
         self.cores: list[Core] = []
         for thread_id, trace in enumerate(traces):
             llc = (
-                SetAssocCache(config.llc_bytes, config.llc_ways, config.spec.line_bytes)
+                SetAssocCache(config.llc_bytes, config.llc_ways, spec.line_bytes)
                 if config.use_llc
                 else None
             )
@@ -93,13 +99,17 @@ class System:
             if core_params_per_thread is not None and core_params_per_thread[thread_id]:
                 params = core_params_per_thread[thread_id]
             self.cores.append(
-                Core(thread_id, trace, self.controller, self.mapping, params, llc)
+                Core(thread_id, trace, self.memsys, self.mapping, params, llc)
             )
 
         self._events = EventQueue()
-        self._ctrl_scheduled: float | None = None
+        num_channels = self.memsys.num_channels
+        self._ctrl_scheduled: list[float | None] = [None] * num_channels
         self._core_scheduled: list[float | None] = [None] * len(self.cores)
         # One reusable wake callable per entity (no per-event closures).
+        self._ctrl_fires = [
+            partial(self._fire_ctrl, channel) for channel in range(num_channels)
+        ]
         self._core_fires = [
             partial(self._fire_core, index) for index in range(len(self.cores))
         ]
@@ -116,19 +126,20 @@ class System:
     # ------------------------------------------------------------------
     # Event scheduling helpers.
     # ------------------------------------------------------------------
-    def _schedule_ctrl(self, time: float) -> None:
-        if self._ctrl_scheduled is not None and self._ctrl_scheduled <= time:
+    def _schedule_ctrl(self, channel: int, time: float) -> None:
+        scheduled = self._ctrl_scheduled[channel]
+        if scheduled is not None and scheduled <= time:
             return
-        self._ctrl_scheduled = time
-        self._events.push(time, self._fire_ctrl)
+        self._ctrl_scheduled[channel] = time
+        self._events.push(time, self._ctrl_fires[channel])
 
-    def _fire_ctrl(self, now: float) -> None:
-        if self._ctrl_scheduled != now:
+    def _fire_ctrl(self, channel: int, now: float) -> None:
+        if self._ctrl_scheduled[channel] != now:
             return  # stale wake-up, superseded by an earlier one
-        self._ctrl_scheduled = None
-        wake = self.controller.step(now)
+        self._ctrl_scheduled[channel] = None
+        wake = self.controllers[channel].step(now)
         if wake < _NEVER:
-            self._schedule_ctrl(max(wake, now))
+            self._schedule_ctrl(channel, max(wake, now))
 
     def _schedule_core(self, index: int, time: float) -> None:
         scheduled = self._core_scheduled[index]
@@ -141,12 +152,14 @@ class System:
         if self._core_scheduled[index] != now:
             return  # stale wake-up, superseded by an earlier one
         self._core_scheduled[index] = None
-        enqueued_before = self.controller.total_enqueued
         core = self.cores[index]
         wake = core.wake(now)
-        if self.controller.total_enqueued != enqueued_before:
-            # Injections created controller work.
-            self._schedule_ctrl(now)
+        touched = self.memsys.touched
+        if touched:
+            # Injections created controller work on these channels.
+            for channel in touched:
+                self._schedule_ctrl(channel, now)
+            touched.clear()
         if wake is not None:
             self._schedule_core(index, max(wake, now))
         elif not self._core_finished[index] and core.finish_time is not None:
@@ -206,7 +219,8 @@ class System:
         self._finished_required = 0
         for index in range(len(self.cores)):
             self._schedule_core(index, 0.0)
-        self._schedule_ctrl(0.0)
+        for channel in range(self.memsys.num_channels):
+            self._schedule_ctrl(channel, 0.0)
 
         measure_start = warmup_ns if warming else 0.0
         events = self._events
@@ -255,21 +269,14 @@ class System:
             core.reset_measurement(now, target)
         self._core_finished = [False] * len(self.cores)
         self._finished_required = 0
-        from repro.dram.device import CommandCounts
-        from repro.mem.controller import ThreadMemStats
-
-        self.device.finalize_active_time(now)
-        self.device.counts = CommandCounts()
-        self.device.active_time = [0.0] * self.config.spec.ranks
-        self.controller.thread_stats = [
-            ThreadMemStats() for _ in range(len(self.cores))
-        ]
-        self.controller.vref_count = 0
-        self.controller.commands_issued = 0
+        self.memsys.reset_measurement(now)
 
     # ------------------------------------------------------------------
     def _collect(self, end_time: float, measure_start: float = 0.0) -> SimResult:
-        self.device.finalize_active_time(end_time)
+        memsys = self.memsys
+        memsys.finalize(end_time)
+        multi_channel = memsys.num_channels > 1
+        merged_stats = memsys.merged_thread_stats()
         threads = []
         for core in self.cores:
             finish = core.finish_time if core.finish_time is not None else end_time
@@ -282,18 +289,27 @@ class System:
                     instructions=core.instructions_retired,
                     finish_time_ns=span,
                     ipc=ipc,
-                    mem=self.controller.thread_stats[core.thread_id],
+                    mem=merged_stats[core.thread_id],
+                    mem_per_channel=(
+                        [
+                            controller.thread_stats[core.thread_id]
+                            for controller in self.controllers
+                        ]
+                        if multi_channel
+                        else []
+                    ),
                 )
             )
         return SimResult(
             mitigation=self.mitigation.name,
             threads=threads,
             elapsed_ns=end_time - measure_start,
-            counts=self.device.counts,
-            active_time_ns=list(self.device.active_time),
-            bitflips=list(self.device.bitflips),
-            refreshes=sum(self.controller.refresh.refreshes_issued),
-            victim_refreshes=self.controller.vref_count,
-            commands_issued=self.controller.commands_issued,
+            counts=memsys.aggregate_counts(),
+            active_time_ns=memsys.aggregate_active_time(),
+            bitflips=memsys.aggregate_bitflips(),
+            refreshes=memsys.total_refreshes(),
+            victim_refreshes=memsys.total_victim_refreshes(),
+            commands_issued=memsys.total_commands_issued(),
             events_processed=self.events_processed,
+            channels=memsys.channel_results(),
         )

@@ -1,0 +1,25 @@
+"""Field-wise dataclass aggregation.
+
+Multi-channel statistics merge the same way everywhere: numeric fields
+sum, list fields concatenate.  Iterating the dataclass fields (instead
+of naming them) means a future statistic cannot be silently dropped
+from an aggregate — it either merges, or the addition fails loudly for
+an unsupported field type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+
+def merge_fields(target, source):
+    """Merge ``source`` into ``target`` (same dataclass type) in place:
+    list fields extend, every other field accumulates with ``+``.
+    Returns ``target`` for chaining."""
+    for f in fields(target):
+        value = getattr(source, f.name)
+        if isinstance(value, list):
+            getattr(target, f.name).extend(value)
+        else:
+            setattr(target, f.name, getattr(target, f.name) + value)
+    return target

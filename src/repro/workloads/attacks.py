@@ -6,9 +6,21 @@ activation (RA, RB, RA, RB, ...)" — a double-sided attack on the row
 between the two aggressors.  We also provide single-sided and
 many-sided (TRRespass-style) variants.  Attack records carry zero
 instruction gap (a tight hammering loop) and are pure reads.
+
+All variants are channel-aware: on a multi-channel spec the attacker
+rotates round-robin across every channel (advancing the channel each
+time the bank rotation wraps), hammering the same aggressor rows in
+every channel's shard — the worst case for per-channel mitigation
+instances, since each instance must detect the attack independently.
+Row alternation is tracked per (channel, bank) so every shard sees the
+row conflict (and hence the ACT) the attack relies on.  On a
+single-channel spec the rotation degenerates to the channel-free trace,
+record for record.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.cpu.trace import Trace, TraceRecord
 from repro.dram.address import AddressMapping, DecodedAddress
@@ -17,12 +29,14 @@ from repro.utils.validation import require
 
 
 class AttackTrace(Trace):
-    """Cycles through aggressor rows across banks at maximum rate.
+    """Cycles through aggressor rows across banks (and channels) at
+    maximum rate.
 
     ``aggressors[bank]`` is the list of rows hammered in that bank; the
-    trace alternates rows within a bank on consecutive visits (forcing a
-    row conflict — and hence an ACT — every time) and rotates across
-    banks to saturate rank-level parallelism.
+    trace alternates rows within a (channel, bank) on consecutive visits
+    (forcing a row conflict — and hence an ACT — every time), rotates
+    across banks to saturate rank-level parallelism, and rotates across
+    ``channels`` each time the bank rotation wraps.
     """
 
     def __init__(
@@ -32,6 +46,7 @@ class AttackTrace(Trace):
         aggressors: dict[int, list[int]],
         rank: int = 0,
         gap: int = 0,
+        channels: list[int] | None = None,
     ) -> None:
         require(len(aggressors) >= 1, "attack needs at least one bank")
         for rows in aggressors.values():
@@ -42,17 +57,56 @@ class AttackTrace(Trace):
         self.gap = gap
         self.banks = sorted(aggressors)
         self.aggressors = {bank: list(rows) for bank, rows in aggressors.items()}
+        self.channels = (
+            list(channels) if channels is not None else list(range(spec.channels))
+        )
+        require(len(self.channels) >= 1, "attack needs at least one channel")
+        for channel in self.channels:
+            require(0 <= channel < spec.channels, "attack channel out of range")
         self._bank_cursor = 0
-        self._row_cursor = {bank: 0 for bank in self.banks}
+        self._channel_cursor = 0
+        self._row_cursor = {
+            (channel, bank): 0 for channel in self.channels for bank in self.banks
+        }
+        # The rotation is purely periodic (no RNG): precompute one full
+        # period of records and replay it, so the hammering firehose —
+        # the hottest trace in every attack mix — costs one list index
+        # per record instead of an encode + two allocations.  Periods
+        # are tiny (banks x channels x rows-per-bank); degenerate
+        # configurations fall back to on-the-fly generation.
+        period = (
+            len(self.banks)
+            * len(self.channels)
+            * math.lcm(*(len(rows) for rows in self.aggressors.values()))
+        )
+        self._records: list[TraceRecord] | None = None
+        self._replay_index = 0
+        if period <= 65536:
+            self._records = [self._generate() for _ in range(period)]
+
+    def _generate(self) -> TraceRecord:
+        channel = self.channels[self._channel_cursor]
+        bank = self.banks[self._bank_cursor]
+        cursor = self._bank_cursor + 1
+        if cursor == len(self.banks):
+            cursor = 0
+            self._channel_cursor = (self._channel_cursor + 1) % len(self.channels)
+        self._bank_cursor = cursor
+        rows = self.aggressors[bank]
+        index = self._row_cursor[(channel, bank)]
+        self._row_cursor[(channel, bank)] = (index + 1) % len(rows)
+        address = self.mapping.encode(
+            DecodedAddress(self.rank, bank, rows[index], 0, channel)
+        )
+        return TraceRecord(gap=self.gap, address=address, is_write=False)
 
     def next_record(self) -> TraceRecord:
-        bank = self.banks[self._bank_cursor]
-        self._bank_cursor = (self._bank_cursor + 1) % len(self.banks)
-        rows = self.aggressors[bank]
-        index = self._row_cursor[bank]
-        self._row_cursor[bank] = (index + 1) % len(rows)
-        address = self.mapping.encode(DecodedAddress(self.rank, bank, rows[index], 0))
-        return TraceRecord(gap=self.gap, address=address, is_write=False)
+        records = self._records
+        if records is None:
+            return self._generate()
+        index = self._replay_index
+        self._replay_index = index + 1 if index + 1 < len(records) else 0
+        return records[index]
 
 
 def double_sided_attack(
@@ -60,12 +114,14 @@ def double_sided_attack(
     mapping: AddressMapping,
     victim_row: int = 2048,
     banks: list[int] | None = None,
+    channels: list[int] | None = None,
 ) -> AttackTrace:
-    """The paper's attack: hammer victim_row±1 in each bank."""
+    """The paper's attack: hammer victim_row±1 in each bank (of every
+    channel, round-robin, on multi-channel specs)."""
     require(1 <= victim_row < spec.rows_per_bank - 1, "victim must have neighbors")
     banks = banks if banks is not None else list(range(spec.banks_per_rank))
     aggressors = {bank: [victim_row - 1, victim_row + 1] for bank in banks}
-    return AttackTrace(spec, mapping, aggressors)
+    return AttackTrace(spec, mapping, aggressors, channels=channels)
 
 
 def single_sided_attack(
@@ -73,6 +129,7 @@ def single_sided_attack(
     mapping: AddressMapping,
     aggressor_row: int = 2048,
     banks: list[int] | None = None,
+    channels: list[int] | None = None,
 ) -> AttackTrace:
     """Hammer one aggressor, alternating with a far dummy row so each
     visit forces a row conflict (same-row accesses would just hit the
@@ -80,7 +137,7 @@ def single_sided_attack(
     banks = banks if banks is not None else list(range(spec.banks_per_rank))
     dummy = (aggressor_row + spec.rows_per_bank // 2) % spec.rows_per_bank
     aggressors = {bank: [aggressor_row, dummy] for bank in banks}
-    return AttackTrace(spec, mapping, aggressors)
+    return AttackTrace(spec, mapping, aggressors, channels=channels)
 
 
 def many_sided_attack(
@@ -89,6 +146,7 @@ def many_sided_attack(
     first_row: int = 2048,
     sides: int = 9,
     banks: list[int] | None = None,
+    channels: list[int] | None = None,
 ) -> AttackTrace:
     """TRRespass-style many-sided attack: ``sides`` aggressors spaced two
     rows apart (victims interleaved between them)."""
@@ -100,7 +158,7 @@ def many_sided_attack(
     banks = banks if banks is not None else list(range(spec.banks_per_rank))
     rows = [first_row + 2 * k for k in range(sides)]
     aggressors = {bank: rows for bank in banks}
-    return AttackTrace(spec, mapping, aggressors)
+    return AttackTrace(spec, mapping, aggressors, channels=channels)
 
 
 def build_attack_trace(
@@ -109,7 +167,12 @@ def build_attack_trace(
     mapping: AddressMapping,
     **kwargs,
 ) -> AttackTrace:
-    """Build an attack trace by name: double | single | many."""
+    """Build an attack trace by name: double | single | many.
+
+    Every kind sweeps all of the spec's channels round-robin by default
+    (the multi-channel worst case); pass ``channels=[...]`` to confine
+    the attack to a subset.
+    """
     builders = {
         "double": double_sided_attack,
         "single": single_sided_attack,

@@ -47,6 +47,11 @@ class ProfileTrace(Trace):
         # the same profile do not share rows.
         self.row_offset = row_offset % spec.rows_per_bank
         self.banks_used = min(profile.banks_used, spec.banks_per_rank)
+        # Rows spread deterministically across channels (row % channels):
+        # a bank's working set splits evenly over the channel shards
+        # without consuming RNG draws, so single-channel streams are
+        # bit-identical to the pre-channel generator (row % 1 == 0).
+        self._channels = spec.channels
         self._bank_cursor = 0
         self._current_row = [0] * spec.banks_per_rank
         self._current_col = [0] * spec.banks_per_rank
@@ -80,8 +85,9 @@ class ProfileTrace(Trace):
             self._current_col[bank] = 0
         col = self._current_col[bank]
         self._current_col[bank] = (col + 1) % self.spec.columns_per_row
+        row = self._current_row[bank]
         address = self.mapping.encode(
-            DecodedAddress(self.rank, bank, self._current_row[bank], col)
+            DecodedAddress(self.rank, bank, row, col, row % self._channels)
         )
         is_write = self.rng.uniform() < profile.write_fraction
         return TraceRecord(gap=gap, address=address, is_write=is_write)

@@ -1,0 +1,200 @@
+"""The persistent cross-sweep result cache.
+
+The acceptance property: a warm-cache re-run of an unchanged sweep
+performs **zero** simulations (asserted via the job-execution counter)
+and returns rows identical to both the serial and the parallel
+execution of the same sweep — including on multi-channel
+configurations, whose results carry per-channel rows through the JSON
+round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.cache import (
+    CACHE_ENV,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    resolve_cache,
+    source_fingerprint,
+)
+from repro.harness.experiments import fig5_multicore
+from repro.harness.parallel import (
+    execute_job,
+    job_executions,
+    mix_job,
+    run_jobs,
+    single_job,
+)
+from repro.harness.runner import HarnessConfig
+from repro.workloads.mixes import attack_mixes
+
+
+@pytest.fixture(scope="module")
+def hcfg2() -> HarnessConfig:
+    """2-channel, tier-1 sized."""
+    return HarnessConfig(
+        scale=128.0, instructions_per_thread=4_000, warmup_ns=5_000.0, num_channels=2
+    )
+
+
+# ----------------------------------------------------------------------
+# Round-trip fidelity.
+# ----------------------------------------------------------------------
+def test_job_result_json_roundtrip_exact(tmp_path, hcfg2):
+    cache = ResultCache(tmp_path)
+    job = mix_job(
+        hcfg2, attack_mixes(1)[0], "blockhammer", extract=("thread_rhli", "delay_stats")
+    )
+    fresh = execute_job(job)
+    cache.put(job, fresh)
+    cached = cache.get(job)
+    assert cached is not None
+    # Dataclass equality is recursive and float-exact: threads, memory
+    # stats, per-channel rows, bit-flips, energy, extras.
+    assert cached.result == fresh.result
+    assert cached.energy == fresh.energy
+    assert cached.mechanism_name == fresh.mechanism_name
+    assert cached.extras["thread_rhli"] == fresh.extras["thread_rhli"]
+    assert cached.extras["delay_stats"] == fresh.extras["delay_stats"]
+    assert cached.key == job.key
+
+
+def test_serial_parallel_and_cache_hit_rows_identical(tmp_path, hcfg2):
+    """serial == parallel == cache-hit for a multi-channel sweep."""
+    cache = ResultCache(tmp_path)
+    serial = fig5_multicore(hcfg2, 1, ["blockhammer"], workers=1)
+    parallel_rows = fig5_multicore(hcfg2, 1, ["blockhammer"], workers=2)
+    cold = fig5_multicore(hcfg2, 1, ["blockhammer"], workers=1, cache=cache)
+    before = job_executions()
+    warm = fig5_multicore(hcfg2, 1, ["blockhammer"], workers=1, cache=cache)
+    assert job_executions() == before  # zero simulations on the warm run
+    assert serial == parallel_rows == cold == warm
+    assert cache.hits >= cache.stores > 0
+
+
+def test_warm_run_serves_every_job_from_disk(tmp_path, hcfg2):
+    cache = ResultCache(tmp_path)
+    jobs = [
+        single_job(hcfg2, "403.gcc", "none"),
+        single_job(hcfg2, "403.gcc", "blockhammer"),
+    ]
+    run_jobs(jobs, workers=1, cache=cache)
+    assert cache.stores == 2
+    warm_cache = ResultCache(tmp_path)  # fresh instance, same directory
+    before = job_executions()
+    results = run_jobs(jobs, workers=1, cache=warm_cache)
+    assert job_executions() == before
+    assert warm_cache.hits == 2 and warm_cache.misses == 0
+    assert set(results) == {job.key for job in jobs}
+
+
+# ----------------------------------------------------------------------
+# Invalidation and key hygiene.
+# ----------------------------------------------------------------------
+def test_source_fingerprint_invalidates(tmp_path, hcfg2):
+    job = single_job(hcfg2, "403.gcc", "none")
+    cache = ResultCache(tmp_path)
+    cache.put(job, execute_job(job))
+    assert ResultCache(tmp_path).get(job) is not None
+    stale = ResultCache(tmp_path, fingerprint="deadbeef")
+    assert stale.get(job) is None  # simulated source change: clean miss
+    assert stale.misses == 1
+
+
+def test_different_jobs_do_not_collide(tmp_path, hcfg2):
+    cache = ResultCache(tmp_path)
+    a = single_job(hcfg2, "403.gcc", "none")
+    b = single_job(hcfg2, "403.gcc", "blockhammer")
+    cache.put(a, execute_job(a))
+    assert cache.get(b) is None
+
+
+def test_extras_must_cover_request(tmp_path, hcfg2):
+    mix = attack_mixes(1)[0]
+    bare = mix_job(hcfg2, mix, "blockhammer")
+    cache = ResultCache(tmp_path)
+    cache.put(bare, execute_job(bare))
+    # The cached entry has no extras: a job requesting them must miss
+    # (and re-run), never silently return a result without them.
+    wanting = mix_job(hcfg2, mix, "blockhammer", extract=("thread_rhli",))
+    assert cache.get(wanting) is None
+    cache.put(wanting, execute_job(wanting))
+    hit = cache.get(bare)  # superset entries serve subset requests
+    assert hit is not None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, hcfg2):
+    cache = ResultCache(tmp_path)
+    job = single_job(hcfg2, "403.gcc", "none")
+    cache.put(job, execute_job(job))
+    path = cache._path(job)
+    path.write_text("{ not json")
+    assert cache.get(job) is None
+
+
+def test_source_fingerprint_is_stable():
+    assert source_fingerprint() == source_fingerprint()
+    assert len(source_fingerprint()) == 64
+
+
+# ----------------------------------------------------------------------
+# Activation plumbing.
+# ----------------------------------------------------------------------
+def test_resolve_cache_precedence(tmp_path, monkeypatch):
+    monkeypatch.delenv(CACHE_ENV, raising=False)
+    assert resolve_cache(None) is None
+    assert resolve_cache(False) is None
+    assert resolve_cache(True).root.name == DEFAULT_CACHE_DIR
+    explicit = ResultCache(tmp_path)
+    assert resolve_cache(explicit) is explicit
+    monkeypatch.setenv(CACHE_ENV, "0")
+    assert resolve_cache(None) is None
+    monkeypatch.setenv(CACHE_ENV, "1")
+    assert str(resolve_cache(None).root) == DEFAULT_CACHE_DIR
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path / "elsewhere"))
+    assert resolve_cache(None).root == tmp_path / "elsewhere"
+    # An explicit False always wins over the environment.
+    assert resolve_cache(False) is None
+
+
+def test_entries_are_json_files_under_root(tmp_path, hcfg2):
+    cache = ResultCache(tmp_path)
+    job = single_job(hcfg2, "403.gcc", "none")
+    cache.put(job, execute_job(job))
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 1
+    data = json.loads(files[0].read_text())
+    assert data["key"] == repr(job.key)
+    assert data["fingerprint"] == cache.fingerprint
+
+
+# ----------------------------------------------------------------------
+# Tier-1 smoke: a 2-channel job through the pool + cache path.
+# ----------------------------------------------------------------------
+@pytest.mark.perf_smoke
+def test_perf_smoke_two_channel_pool_and_cache(tmp_path, hcfg2):
+    """Cold: one 2-channel sweep through the process-pool executor with
+    the cache storing results.  Warm: the same sweep again, asserting
+    zero simulations ran and the rows came back identical."""
+    cache = ResultCache(tmp_path)
+    jobs = [
+        single_job(hcfg2, "403.gcc", "none"),
+        single_job(hcfg2, "403.gcc", "blockhammer"),
+    ]
+    cold = run_jobs(jobs, workers=2, cache=cache)
+    assert cache.stores == 2
+    warm = run_jobs(jobs, workers=2, cache=cache)
+    # Every warm job hit (and only the cold run missed): run_jobs only
+    # dispatches misses, so zero simulations ran in *any* process —
+    # the per-process job_executions counter cannot see pool workers.
+    assert cache.hits == 2
+    assert cache.misses == 2
+    for key in cold:
+        assert warm[key].result == cold[key].result
+        assert warm[key].energy == cold[key].energy
+        assert len(warm[key].result.channels) == 2
