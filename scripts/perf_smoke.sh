@@ -1,9 +1,12 @@
 #!/bin/sh
 # Fast perf smoke: tiny sweeps through the parallel experiment executor
-# (job pickling, pool fan-out, extractor transport, keyed assembly) and
+# (job pickling, pool fan-out, extractor transport, keyed assembly),
 # through the persistent result cache — one 2-channel job goes through
 # the pool+cache path cold then warm, asserting the warm run performs
-# zero simulations.  Runs in seconds; part of tier-1 via the perf_smoke
+# zero simulations — and a differential scheduler smoke: one attack
+# seed simulated under both the incremental FR-FCFS policy and the
+# naive ReferenceFrFcfsPolicy, asserting bit-identical command streams
+# and result rows.  Runs in seconds; part of tier-1 via the perf_smoke
 # marker.
 #
 # Usage: scripts/perf_smoke.sh [extra pytest args]

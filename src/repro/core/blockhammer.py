@@ -91,11 +91,15 @@ class BlockHammer(MitigationMechanism):
 
     @property
     def act_block_stable(self) -> float:
-        """Blocked verdicts hold until the next CBF epoch rotation: the
-        blacklist only loses entries at rotation, and a blocked row's
-        history entry cannot be re-stamped while its ACTs are delayed."""
+        """Verdicts hold until the next CBF epoch rotation: the
+        blacklist only loses entries at rotation, a blocked row's
+        history entry cannot be re-stamped while its ACTs are delayed,
+        and a safe row can only become unsafe through an ACT on its own
+        bank (per-bank Bloom inserts), which dirties that bank anyway.
+        Observe-only mode never blocks, so its verdicts are stable
+        forever."""
         if self.observe_only:
-            return float("-inf")
+            return float("inf")
         return self.rowblocker.next_rotate
 
     def on_activate(self, rank: int, bank: int, row: int, thread: int, now: float) -> None:

@@ -135,13 +135,23 @@ class RowBlocker:
         # (rank, bank, row) -> (first-unsafe-query time, was-false-positive)
         self._blocked_since: dict[tuple[int, int, int], tuple[float, bool]] = {}
         self._next_rotate = config.epoch_ns
+        #: Blocked-verdict epoch: advances on every D-CBF rotation, the
+        #: only event that can invalidate verdicts en masse (blacklist
+        #: entries expire; everything else is per-bank and reported
+        #: through the controller's dirty-bank tracking).  The
+        #: incremental scheduler's bank caches expire at the rotation
+        #: *time* (``next_rotate`` via ``act_block_stable``); this
+        #: counter exists so tests can observe rotations directly.
+        self.verdict_epoch = 0
 
     # ------------------------------------------------------------------
     @property
     def next_rotate(self) -> float:
         """Next epoch-rotation deadline: until then, a blacklisted row
         stays blacklisted and its history entry cannot age out early, so
-        blocked verdicts from :meth:`allowed_at` are stable."""
+        blocked verdicts from :meth:`allowed_at` are stable — and a safe
+        row can only turn unsafe through an ACT on its own bank (the
+        per-bank Bloom filter is the only path to blacklisting)."""
         return self._next_rotate
 
     def _rank_row_id(self, bank: int, row: int) -> int:
@@ -160,6 +170,7 @@ class RowBlocker:
             for bl in rank_bls:
                 bl.maybe_rotate(now)
         self._next_rotate = self.bls[0][0].dcbf.next_clear_at()
+        self.verdict_epoch += 1
 
     # ------------------------------------------------------------------
     def allowed_at(self, rank: int, bank: int, row: int, thread: int, now: float) -> float:

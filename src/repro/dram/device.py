@@ -65,6 +65,13 @@ class DramDevice:
         self._refresh_pointer = [0] * spec.ranks
         self.counts = CommandCounts()
         self.bitflips: list[BitFlip] = []
+        #: Optional command trace: set to a list and every committed
+        #: command is appended as (time, kind-name, rank, bank, row,
+        #: col).  Off (None) by default — the differential scheduler
+        #: harness enables it to compare full command streams between
+        #: scheduling policies; one predicted-false branch per command
+        #: otherwise.
+        self.command_log: list[tuple] | None = None
         # Rank-level active-time integration for background energy.
         self._open_banks = [0] * spec.ranks
         self._last_change = [0.0] * spec.ranks
@@ -120,6 +127,10 @@ class DramDevice:
         bank = self.bank(cmd.rank, cmd.bank)
         rank = self.ranks[cmd.rank]
         new_flips: list[BitFlip] = []
+        if self.command_log is not None:
+            self.command_log.append(
+                (now, cmd.kind.name, cmd.rank, cmd.bank, cmd.row, cmd.col)
+            )
 
         if cmd.kind is CommandKind.ACT:
             self._note_bank_transition(cmd.rank, now, opening=True)

@@ -139,14 +139,31 @@ class ResultCache:
     ``sha256(fingerprint | repr(job.key))``; the stored key repr is
     re-verified on load so a truncated-hash collision can never serve the
     wrong simulation.
+
+    ``max_entries`` bounds the store (ROADMAP: entries used to be kept
+    forever): after every ``put`` the least-recently-used files beyond
+    the cap are deleted.  Recency is file mtime — refreshed on every
+    hit — so a warm working set survives while dead fingerprints and
+    abandoned sweeps age out.  ``None`` (default) keeps the store
+    unbounded; the CLI exposes ``--cache-max-entries`` and the
+    ``REPRO_CACHE_MAX_ENTRIES`` environment variable.
     """
 
-    def __init__(self, root: str | os.PathLike, fingerprint: str | None = None) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        fingerprint: str | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("cache max_entries must be >= 1")
         self.root = pathlib.Path(root)
         self.fingerprint = fingerprint or source_fingerprint()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def _path(self, job) -> pathlib.Path:
@@ -183,6 +200,10 @@ class ResultCache:
             if name in _EXTRA_CODECS
         }
         self.hits += 1
+        try:
+            os.utime(path)  # LRU touch: a hit is a use
+        except OSError:
+            pass
         return JobResult(
             key=job.key,
             mechanism_name=data["mechanism_name"],
@@ -216,6 +237,48 @@ class ResultCache:
         tmp.write_text(json.dumps(data))
         os.replace(tmp, path)
         self.stores += 1
+        if self.max_entries is not None:
+            self._evict()
+
+    def _evict(self) -> None:
+        """Delete least-recently-used entries beyond ``max_entries``.
+
+        Best-effort by design: a concurrently-deleted file is skipped,
+        and two writers sharing a directory both converge on the cap.
+        """
+        try:
+            entries = [
+                (path.stat().st_mtime, path) for path in self.root.glob("*.json")
+            ]
+        except OSError:
+            return
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort(key=lambda pair: pair[0])
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+                self.evictions += 1
+            except OSError:
+                pass
+
+
+#: Environment variable bounding the cache entry count (see
+#: ``ResultCache.max_entries``); applies whenever :func:`resolve_cache`
+#: constructs the cache itself.
+CACHE_MAX_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+
+def _env_max_entries() -> int | None:
+    env = os.environ.get(CACHE_MAX_ENV, "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(f"{CACHE_MAX_ENV} must be an integer, got {env!r}") from None
+    return value if value > 0 else None
 
 
 def resolve_cache(cache) -> ResultCache | None:
@@ -224,17 +287,19 @@ def resolve_cache(cache) -> ResultCache | None:
     ``cache`` may be a ResultCache (used as-is), ``True`` (default
     directory), ``False`` (explicitly off, overriding the environment),
     or ``None`` (defer to ``REPRO_CACHE``: ``1`` → default directory, a
-    path → that directory, ``0``/empty/unset → off).
+    path → that directory, ``0``/empty/unset → off).  Whenever this
+    function builds the cache itself, ``REPRO_CACHE_MAX_ENTRIES`` sets
+    the LRU entry cap.
     """
     if isinstance(cache, ResultCache):
         return cache
     if cache is True:
-        return ResultCache(DEFAULT_CACHE_DIR)
+        return ResultCache(DEFAULT_CACHE_DIR, max_entries=_env_max_entries())
     if cache is False:
         return None
     env = os.environ.get(CACHE_ENV, "").strip()
     if not env or env == "0":
         return None
     if env == "1":
-        return ResultCache(DEFAULT_CACHE_DIR)
-    return ResultCache(env)
+        return ResultCache(DEFAULT_CACHE_DIR, max_entries=_env_max_entries())
+    return ResultCache(env, max_entries=_env_max_entries())

@@ -15,10 +15,17 @@ benchmarks under ``benchmarks/`` run the same drivers with assertions.
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.core.config import BlockHammerConfig
 from repro.harness import experiments
-from repro.harness.cache import ResultCache
+from repro.harness.cache import (
+    CACHE_ENV,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    _env_max_entries,
+    resolve_cache,
+)
 from repro.harness.reporting import format_table
 from repro.harness.runner import HarnessConfig
 from repro.hwcost.mechanisms import table4_rows
@@ -37,14 +44,28 @@ def _hcfg(args) -> HarnessConfig:
 
 def _cache(args):
     """The cache argument for the experiment drivers: an explicit flag
-    wins; otherwise None defers to the REPRO_CACHE environment."""
+    wins; otherwise None defers to the REPRO_CACHE environment.  An
+    entry cap (``--cache-max-entries`` / REPRO_CACHE_MAX_ENTRIES) rides
+    along on whichever cache is chosen — the flag never changes *which*
+    directory serves the cache (``REPRO_CACHE=<path>`` plus a CLI cap
+    still hits the environment's warm store, parsed by the one grammar
+    in ``resolve_cache``) and never overrides an explicit
+    ``REPRO_CACHE=0`` opt-out (only ``--cache``/``--cache-dir`` do)."""
     if args.no_cache:
         return False
+    max_entries = args.cache_max_entries
     if args.cache_dir:
-        return ResultCache(args.cache_dir)
-    if args.cache:
-        return True
-    return None
+        if max_entries is None:
+            max_entries = _env_max_entries()
+        return ResultCache(args.cache_dir, max_entries=max_entries)
+    if max_entries is None:
+        return True if args.cache else None
+    resolved = resolve_cache(None)  # environment-selected cache, if any
+    if resolved is not None:
+        return ResultCache(resolved.root, max_entries=max_entries)
+    if not args.cache and os.environ.get(CACHE_ENV, "").strip() == "0":
+        return None  # explicit environment opt-out wins over the cap
+    return ResultCache(DEFAULT_CACHE_DIR, max_entries=max_entries)
 
 
 def cmd_table1(args) -> str:
@@ -215,7 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result-cache directory (implies --cache)",
     )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=_positive_int,
+        default=None,
+        help="LRU cap on stored cache entries; oldest-used entries beyond "
+        "the cap are evicted after each store (implies --cache; also "
+        "REPRO_CACHE_MAX_ENTRIES)",
+    )
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:

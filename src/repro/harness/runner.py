@@ -169,6 +169,9 @@ class RunOutcome:
     #: One mitigation instance per memory channel (state is never shared
     #: across channels; aggregate with max/sum as the statistic demands).
     mechanisms: tuple[MitigationMechanism, ...]
+    #: Per-channel DRAM command traces, only when the runner was built
+    #: with ``capture_commands`` (differential scheduler testing).
+    command_logs: tuple[list, ...] | None = None
 
     @property
     def mechanism(self) -> MitigationMechanism:
@@ -181,11 +184,26 @@ class RunOutcome:
 
 
 class Runner:
-    """Executes workloads under a fixed :class:`HarnessConfig`."""
+    """Executes workloads under a fixed :class:`HarnessConfig`.
 
-    def __init__(self, hcfg: HarnessConfig, energy_model: EnergyModel | None = None) -> None:
+    ``policy`` overrides the scheduling policy for every system this
+    runner builds (default FR-FCFS); ``capture_commands`` records every
+    DRAM command each channel issues into ``RunOutcome.command_logs``.
+    The differential scheduler harness uses both to prove the fast and
+    the reference policy produce identical command streams.
+    """
+
+    def __init__(
+        self,
+        hcfg: HarnessConfig,
+        energy_model: EnergyModel | None = None,
+        policy=None,
+        capture_commands: bool = False,
+    ) -> None:
         self.hcfg = hcfg
         self.energy_model = energy_model or EnergyModel()
+        self.policy = policy
+        self.capture_commands = capture_commands
         self._alone_ipc_cache: dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
@@ -204,6 +222,7 @@ class Runner:
             traces,
             # One fresh mechanism per channel: state is never shared.
             mitigation_factory=lambda: build_mitigation(mechanism_name, **kwargs),
+            policy=self.policy,
             adjacency_override=adjacency_override,
             core_params_per_thread=core_params_per_thread,
         )
@@ -226,6 +245,11 @@ class Runner:
             core_params_per_thread=core_params_per_thread,
             **mechanism_kwargs,
         )
+        logs: tuple[list, ...] | None = None
+        if self.capture_commands:
+            logs = tuple([] for _ in system.memsys.devices)
+            for device, log in zip(system.memsys.devices, logs):
+                device.command_log = log
         if targets is None:
             targets = self.hcfg.instructions_per_thread
         result = system.run(
@@ -238,6 +262,7 @@ class Runner:
             result=result,
             energy=self.energy_model.energy_of(result),
             mechanisms=tuple(system.mitigations),
+            command_logs=logs,
         )
 
     # ------------------------------------------------------------------

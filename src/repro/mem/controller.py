@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.utils.aggregate import merge_fields
 
+from repro.dram.address import bank_key
 from repro.dram.commands import Command, CommandKind
 from repro.dram.device import DramDevice
 from repro.dram.spec import DramSpec
@@ -205,6 +206,35 @@ class MemoryController:
         return self._inflight.get((thread, rank, bank), 0)
 
     # ------------------------------------------------------------------
+    # Dirty-bank tracking for the incremental scheduler.
+    # ------------------------------------------------------------------
+    def _invalidate_bank(self, rank_id: int, bank_id: int) -> None:
+        """A command changed (rank, bank)'s row-buffer or verdict state:
+        drop both queues' cached scheduling decisions for it.
+
+        Called for **every** command the controller addresses to a bank
+        (ACT/PRE/RD/WR/VREF; REF dirties the whole rank): cached
+        entries snapshot the bank's local timing (next ACT/PRE/column
+        instants) at examination time, so any command that moves those
+        — a column command shifts the bank's next-PRE and opposite-kind
+        column timing too — must void both queues' entries for the
+        bank.  Queue arrivals/departures additionally invalidate in
+        ``RequestQueue.push``/``remove``; time-driven verdict expiry is
+        handled by the cache entries' own expiry instants.  Rank-level
+        ACT spacing (tRRD/tFAW) and data-bus occupancy are deliberately
+        *not* part of any entry — the scheduler reads those shared
+        scalars live each step.
+        """
+        key = bank_key(rank_id, bank_id)
+        self.read_queue.invalidate_bank(key)
+        self.write_queue.invalidate_bank(key)
+
+    def _invalidate_rank(self, rank_id: int) -> None:
+        """Rank-wide command (REF): every bank's timing state moved."""
+        self.read_queue.invalidate_rank(rank_id)
+        self.write_queue.invalidate_rank(rank_id)
+
+    # ------------------------------------------------------------------
     # Main scheduling step.
     # ------------------------------------------------------------------
     def step(self, now: float) -> float:
@@ -278,6 +308,7 @@ class MemoryController:
                 self.device.issue(Command(CommandKind.REF, rank_id, 0), now)
                 self.refresh.on_ref_issued(rank_id, now)
                 self.commands_issued += 1
+                self._invalidate_rank(rank_id)
                 return True, now
             return False, ready
         # Precharge open banks, earliest-ready first.
@@ -291,6 +322,7 @@ class MemoryController:
                     Command(CommandKind.PRE, rank_id, bank.bank_id, bank.open_row), now
                 )
                 self.commands_issued += 1
+                self._invalidate_bank(rank_id, bank.bank_id)
                 return True, now
             best_t = min(best_t, t)
         return False, best_t
@@ -313,6 +345,7 @@ class MemoryController:
             if t <= now:
                 self.device.issue(cmd, now)
                 self.commands_issued += 1
+                self._invalidate_bank(rank_id, bank_id)
                 if cmd.kind is CommandKind.VREF:
                     queue.popleft()
                     if not queue:
@@ -375,8 +408,14 @@ class MemoryController:
             self.mitigation.on_activate(
                 cmd.rank, cmd.bank, cmd.row, request.thread, now
             )
-        elif cmd.kind in (CommandKind.RD, CommandKind.WR):
+            # The row opened and the mitigation observed the ACT — both
+            # queues' cached decisions for this bank are void.
+            self._invalidate_bank(cmd.rank, cmd.bank)
+        elif cmd.kind is CommandKind.PRE:
+            self._invalidate_bank(cmd.rank, cmd.bank)
+        else:
             self._complete_request(request, cmd, now)
+            self._invalidate_bank(cmd.rank, cmd.bank)
 
     def _complete_request(self, request: Request, cmd: Command, now: float) -> None:
         """Retire a request whose column command just issued."""

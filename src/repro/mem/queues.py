@@ -6,11 +6,31 @@ list (``items``) and a per-bank index (``by_bank``) keyed by
 scheduling step no longer scans the full queue twice; arrival-order
 tie-breaking is preserved through ``Request.queue_seq``, assigned
 monotonically on insertion.
+
+On top of the views sits the incremental scheduler's **per-bank
+candidate cache** (``bank_cache``): the FR-FCFS policy stores each
+bank's scheduling decision (best candidate request + command kind +
+verdict-expiry + wake time) here and trusts it until the bank is
+*dirtied*.  Dirty-bank tracking is cooperative:
+
+* the queue itself invalidates on ``push`` (a new arrival can become
+  the oldest hit or kill a precharge decision via hit protection) and
+  on ``remove`` (the cached candidate may be the departing request);
+* the memory controller invalidates through :meth:`invalidate_bank` /
+  :meth:`invalidate_rank` whenever a command changes a bank's row-buffer
+  state or its mitigation verdicts (ACT/PRE/VREF, REF for the rank);
+* time-driven verdict changes (a blocked row's delay expiring, a
+  blacklist epoch rotation) need no callback: every cached entry carries
+  its own expiry instant and the scheduler re-examines the bank once
+  ``now`` passes it.
+
+A bank absent from ``bank_cache`` is dirty; the policy re-walks it on
+the next scheduling step and re-caches the result.
 """
 
 from __future__ import annotations
 
-from repro.dram.address import bank_key
+from repro.dram.address import BANK_KEY_BITS, bank_key
 from repro.mem.request import Request
 from repro.utils.validation import require
 
@@ -22,7 +42,18 @@ class RequestQueue:
     (smaller ``queue_seq``).
     """
 
-    __slots__ = ("capacity", "_items", "by_bank", "bank_block", "_next_seq")
+    __slots__ = (
+        "capacity",
+        "_items",
+        "by_bank",
+        "bank_cache",
+        "wake_heaps",
+        "ready_heaps",
+        "expiry_heap",
+        "heap_seq",
+        "dirty",
+        "_next_seq",
+    )
 
     def __init__(self, capacity: int = 64) -> None:
         require(capacity >= 1, "queue capacity must be >= 1")
@@ -30,11 +61,38 @@ class RequestQueue:
         self._items: list[Request] = []
         #: Arrival-ordered requests per bank_key (scheduler hot path).
         self.by_bank: dict[int, list[Request]] = {}
-        #: Scheduler-maintained "whole bank is RowHammer-blocked"
-        #: summaries: bank_key -> (blocked_until, wake, observed open
-        #: row).  Invalidated here on push (a new request may be safe);
-        #: the scheduler re-validates the open row and expiry itself.
-        self.bank_block: dict[int, tuple[float, float, int | None]] = {}
+        #: Scheduler-maintained per-bank decision cache: bank_key ->
+        #: entry tuple (see ``repro.mem.scheduler``).  Entries are
+        #: dropped here on push/remove and by the controller on
+        #: row-buffer / verdict changes; the scheduler itself drops
+        #: entries whose expiry instant has passed.  Only the scheduler
+        #: may insert entries: it mirrors each store into the lazy heaps
+        #: below, which its steps-with-nothing-ready fast path relies on.
+        self.bank_cache: dict[int, tuple] = {}
+        #: Lazy min-heaps over live cache entries' bank-local times, one
+        #: per wake class (hit-column / ACT-gate / PRE-gate).  Items are
+        #: (local_t, heap_seq, bank_key, entry); an item is dead when
+        #: ``bank_cache[bank_key] is not entry``.  Maintained entirely
+        #: by the scheduler — see ``FrFcfsPolicy.select``.
+        self.wake_heaps: tuple[list, list, list] = ([], [], [])
+        #: Per-class lazy min-heaps, keyed by arrival order
+        #: (``queue_seq``), of entries whose *bank-local* time has come
+        #: due — readiness then depends only on the class's shared
+        #: scalar, and the FR-FCFS winner is simply the live top (the
+        #: oldest locally-ready candidate).  A bank-local time never
+        #: un-passes, so items migrate here from ``wake_heaps`` once
+        #: and stay until their entry dies.  Items are
+        #: (queue_seq, bank_key, entry).
+        self.ready_heaps: tuple[list, list, list] = ([], [], [])
+        #: Lazy min-heap of entry expiry instants (same item shape).
+        self.expiry_heap: list = []
+        #: Monotonic tiebreaker for heap items (entry tuples containing
+        #: Requests do not order).
+        self.heap_seq = 0
+        #: Banks needing re-examination: every invalidation records the
+        #: key here so a scheduling step walks the dirtied banks only,
+        #: never the whole queue.  Drained by ``FrFcfsPolicy.select``.
+        self.dirty: set[int] = set()
         self._next_seq = 0
 
     @property
@@ -69,17 +127,41 @@ class RequestQueue:
             self.by_bank[key] = [request]
         else:
             bank_list.append(request)
-        if self.bank_block:
-            self.bank_block.pop(key, None)
+        self.bank_cache.pop(key, None)
+        self.dirty.add(key)
 
     def remove(self, request: Request) -> None:
         """Remove a serviced request."""
         self._items.remove(request)
-        bank_list = self.by_bank[request.bank_key]
+        key = request.bank_key
+        bank_list = self.by_bank[key]
         if len(bank_list) == 1:
-            del self.by_bank[request.bank_key]
+            del self.by_bank[key]
         else:
             bank_list.remove(request)
+        self.bank_cache.pop(key, None)
+        self.dirty.add(key)
+
+    # ------------------------------------------------------------------
+    # Dirty-bank tracking (controller-facing).
+    # ------------------------------------------------------------------
+    def invalidate_bank(self, key: int) -> None:
+        """Mark one bank dirty: drop its cached scheduling decision."""
+        self.bank_cache.pop(key, None)
+        self.dirty.add(key)
+
+    def invalidate_rank(self, rank: int) -> None:
+        """Mark every bank of ``rank`` dirty (rank-wide commands: REF)."""
+        lo = rank << BANK_KEY_BITS
+        hi = lo + (1 << BANK_KEY_BITS)
+        for key in [k for k in self.bank_cache if lo <= k < hi]:
+            del self.bank_cache[key]
+            self.dirty.add(key)
+
+    def invalidate_all(self) -> None:
+        """Drop every cached bank decision."""
+        self.dirty.update(self.bank_cache)
+        self.bank_cache.clear()
 
     def requests_for_bank(self, rank: int, bank: int) -> list[Request]:
         """Queued requests targeting (rank, bank), oldest first."""

@@ -70,6 +70,11 @@ class MitigationMechanism:
     def __init__(self) -> None:
         self.context: MitigationContext | None = None
         self._pending_vrefs: list[VictimRefresh] = []
+        # Mechanisms that inherit the base act_allowed_at can never
+        # block an ACT, so every scheduler verdict for them is stable
+        # forever: the incremental FR-FCFS policy checks this flag once
+        # per step and caches bank decisions until the bank is dirtied.
+        self.never_blocks = type(self).act_allowed_at is MitigationMechanism.act_allowed_at
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -84,14 +89,24 @@ class MitigationMechanism:
     # ------------------------------------------------------------------
     # Proactive throttling.
     # ------------------------------------------------------------------
-    #: Horizon until which a "blocked" answer from :meth:`act_allowed_at`
-    #: is stable: no event other than the passage of time can make the
-    #: row safe *earlier* than the returned time before this horizon.
+    #: Horizon until which :meth:`act_allowed_at` verdicts are *stable*.
+    #: This is the scheduler's epoch hook: before the returned time,
+    #:
+    #: * a "blocked until T" answer cannot move earlier — no event other
+    #:   than the passage of time can make the row safe before T, and
+    #: * a "safe" answer stays safe, except through an ACT issued to the
+    #:   same (rank, bank) — which the controller reports by dirtying
+    #:   that bank's cached scheduling state.
+    #:
     #: The scheduler caches blocked verdicts on the request until
-    #: ``min(allowed, act_block_stable)``.  The default (-inf) disables
-    #: caching — every scheduling step re-queries, exactly like a naive
-    #: scan.  Mechanisms with epoch-style state (BlockHammer's CBF
-    #: rotation) override this with their next state-change deadline.
+    #: ``min(allowed, act_block_stable)`` and whole-bank decisions (the
+    #: incremental FR-FCFS candidate cache) until the same horizon.  The
+    #: default (-inf) disables caching — every scheduling step
+    #: re-queries, exactly like a naive scan.  Mechanisms with
+    #: epoch-style state (BlockHammer's CBF rotation, see
+    #: ``RowBlocker.next_rotate``) override this with their next
+    #: state-change deadline; mechanisms that can never block at all are
+    #: detected via ``never_blocks`` and treated as stable forever.
     act_block_stable: float = float("-inf")
 
     def act_allowed_at(self, rank: int, bank: int, row: int, thread: int, now: float) -> float:

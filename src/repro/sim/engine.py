@@ -1,7 +1,11 @@
 """A minimal discrete-event queue.
 
 Events are ``(time, callback)`` pairs; ties break by insertion order so
-simulations are fully deterministic.
+simulations are fully deterministic.  :meth:`EventQueue.pop_at` lets the
+simulation loop drain every wake scheduled for one instant in a single
+iteration (same-tick controller/core wakes are common: one per channel
+plus request completions), skipping the per-event loop bookkeeping
+without changing execution order.
 """
 
 from __future__ import annotations
@@ -30,6 +34,16 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Earliest scheduled time, or None when empty."""
         return self._heap[0][0] if self._heap else None
+
+    def pop_at(self, time: float) -> Callable[[float], None] | None:
+        """Pop the next callback only if it is scheduled exactly at
+        ``time``; None otherwise.  Ties still drain in insertion order,
+        including events pushed *for the same instant* while a batch is
+        draining (they carry larger sequence numbers and pop last)."""
+        heap = self._heap
+        if heap and heap[0][0] == time:
+            return heapq.heappop(heap)[2]
+        return None
 
     @property
     def empty(self) -> bool:

@@ -224,10 +224,16 @@ class System:
 
         measure_start = warmup_ns if warming else 0.0
         events = self._events
-        # The loop runs once per event (hundreds of thousands per
-        # simulation): completion is a counter comparison (cores bump
-        # ``_finished_required`` when they stamp finish_time), and the
-        # common post-warmup/no-deadline mode pops without peeking.
+        pop_at = events.pop_at
+        # The loop runs once per *instant* rather than once per event:
+        # after the first pop, every further wake scheduled for the same
+        # tick (one slot per channel, request completions, core wakes —
+        # including wakes pushed for this tick by the batch itself)
+        # drains in the same iteration, skipping the warmup/deadline
+        # bookkeeping.  Completion stays an int comparison checked
+        # between callbacks (cores bump ``_finished_required`` when they
+        # stamp finish_time), so a run still stops mid-tick exactly
+        # where the per-event loop did.
         while True:
             if (
                 not warming
@@ -257,8 +263,20 @@ class System:
                 except IndexError:
                     break
             self._now = time
-            self.events_processed += 1
+            processed = 1
             callback(time)
+            # Same-instant batch drain (warming/deadline checks cannot
+            # change within one tick; completion can).
+            required = self._total_required if not warming else 0
+            while True:
+                if required and self._finished_required >= required:
+                    break
+                callback = pop_at(time)
+                if callback is None:
+                    break
+                processed += 1
+                callback(time)
+            self.events_processed += processed
 
         return self._collect(self._now, measure_start)
 

@@ -51,7 +51,15 @@ class ProfileTrace(Trace):
         # a bank's working set splits evenly over the channel shards
         # without consuming RNG draws, so single-channel streams are
         # bit-identical to the pre-channel generator (row % 1 == 0).
+        # Channel-affine profiles instead pin every access to one
+        # channel (modulo the channel count), modelling workloads whose
+        # pages all live on a single channel shard.
         self._channels = spec.channels
+        self._affinity = (
+            None
+            if profile.channel_affinity is None
+            else profile.channel_affinity % spec.channels
+        )
         self._bank_cursor = 0
         self._current_row = [0] * spec.banks_per_rank
         self._current_col = [0] * spec.banks_per_rank
@@ -86,8 +94,9 @@ class ProfileTrace(Trace):
         col = self._current_col[bank]
         self._current_col[bank] = (col + 1) % self.spec.columns_per_row
         row = self._current_row[bank]
+        channel = row % self._channels if self._affinity is None else self._affinity
         address = self.mapping.encode(
-            DecodedAddress(self.rank, bank, row, col, row % self._channels)
+            DecodedAddress(self.rank, bank, row, col, channel)
         )
         is_write = self.rng.uniform() < profile.write_fraction
         return TraceRecord(gap=gap, address=address, is_write=is_write)

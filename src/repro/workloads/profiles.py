@@ -46,6 +46,18 @@ class WorkloadProfile:
     banks_used: int = 16
     write_fraction: float = 0.2
     streaming: bool = False  # sequential row sweep (non-temporal copies)
+    #: Pin the working set to one memory channel (None = spread rows
+    #: across channels).  Channel-affine profiles model applications
+    #: whose pages land on a single channel — the skewed-load scenarios
+    #: a channel-sharded memory system must be exercised against.
+    channel_affinity: int | None = None
+
+    def pinned_to(self, channel: int) -> "WorkloadProfile":
+        """This profile with its working set confined to ``channel``
+        (modulo the system's channel count at trace-build time)."""
+        from dataclasses import replace
+
+        return replace(self, channel_affinity=channel)
 
     @property
     def conflict_fraction(self) -> float:

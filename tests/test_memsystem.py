@@ -129,11 +129,9 @@ def test_per_channel_mitigation_instances_distinct_with_state(outcome2):
     # populated independently, not mirrored through a shared object.
     for mechanism in mechanisms:
         assert mechanism.delay_stats().total_acts > 0
-    assert (
-        mechanisms[0].delay_stats().total_acts
-        != mechanisms[1].delay_stats().total_acts
-        or mechanisms[0].delay_stats() is not mechanisms[1].delay_stats()
-    )
+    assert mechanisms[0].delay_stats() is not mechanisms[1].delay_stats()
+    assert mechanisms[0].rowblocker is not mechanisms[1].rowblocker
+    assert mechanisms[0].throttler is not mechanisms[1].throttler
 
 
 def test_both_channels_carry_traffic_and_aggregate_sums(outcome2):

@@ -198,3 +198,133 @@ def test_perf_smoke_two_channel_pool_and_cache(tmp_path, hcfg2):
         assert warm[key].result == cold[key].result
         assert warm[key].energy == cold[key].energy
         assert len(warm[key].result.channels) == 2
+
+
+# ----------------------------------------------------------------------
+# Eviction cap (LRU).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def hcfg_tiny() -> HarnessConfig:
+    """Single-channel, eviction-test sized (simulations in milliseconds)."""
+    return HarnessConfig(
+        scale=128.0, instructions_per_thread=1_500, warmup_ns=1_000.0, num_channels=1
+    )
+
+
+def _tiny_jobs(hcfg, apps):
+    return [single_job(hcfg, app, "none") for app in apps]
+
+
+def _set_mtimes(cache, jobs, start=1_000_000):
+    """Deterministic, strictly-increasing mtimes in job order."""
+    import os
+
+    for index, job in enumerate(jobs):
+        when = start + index
+        os.utime(cache._path(job), times=(when, when))
+
+
+def test_cap_evicts_oldest_entries_and_warm_hits_skip_simulation(tmp_path, hcfg_tiny):
+    """Fill past the cap: the oldest entries are evicted, the survivors
+    still serve warm runs with zero simulations."""
+    apps = ["403.gcc", "401.bzip2", "445.gobmk", "458.sjeng", "444.namd"]
+    jobs = _tiny_jobs(hcfg_tiny, apps)
+    cache = ResultCache(tmp_path, max_entries=3)
+    for job in jobs:
+        cache.put(job, execute_job(job))
+        _set_mtimes(cache, [j for j in jobs if cache._path(j).exists()])
+    assert len(list(tmp_path.glob("*.json"))) == 3
+    assert cache.evictions == 2
+    # The two oldest are gone; the three newest survive.
+    fresh = ResultCache(tmp_path, max_entries=3)
+    assert fresh.get(jobs[0]) is None
+    assert fresh.get(jobs[1]) is None
+    for job in jobs[2:]:
+        assert fresh.get(job) is not None
+    # Warm hits on the survivors still skip simulation entirely.
+    before = job_executions()
+    results = run_jobs(jobs[2:], workers=1, cache=ResultCache(tmp_path, max_entries=3))
+    assert job_executions() == before
+    assert set(results) == {job.key for job in jobs[2:]}
+
+
+def test_hits_refresh_recency_so_the_working_set_survives(tmp_path, hcfg_tiny):
+    """A get() counts as a use: the least-recently-USED entry is the
+    one evicted, not the least-recently-stored."""
+    apps = ["403.gcc", "401.bzip2", "445.gobmk"]
+    jobs = _tiny_jobs(hcfg_tiny, apps)
+    cache = ResultCache(tmp_path, max_entries=3)
+    for job in jobs:
+        cache.put(job, execute_job(job))
+    _set_mtimes(cache, jobs)
+    # Touch the oldest-stored entry, then overflow the cap.
+    assert cache.get(jobs[0]) is not None
+    newcomer = single_job(hcfg_tiny, "458.sjeng", "none")
+    cache.put(newcomer, execute_job(newcomer))
+    assert cache.evictions == 1
+    assert cache.get(jobs[0]) is not None  # recently used: survived
+    assert cache.get(jobs[1]) is None  # least recently used: evicted
+    assert cache.get(jobs[2]) is not None
+    assert cache.get(newcomer) is not None
+
+
+def test_cap_validation_and_unbounded_default(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path, max_entries=0)
+    assert ResultCache(tmp_path).max_entries is None
+
+
+def test_env_var_caps_resolved_caches(tmp_path, monkeypatch):
+    from repro.harness.cache import CACHE_MAX_ENV
+
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path / "capped"))
+    monkeypatch.setenv(CACHE_MAX_ENV, "7")
+    assert resolve_cache(None).max_entries == 7
+    assert resolve_cache(True).max_entries == 7
+    monkeypatch.setenv(CACHE_MAX_ENV, "not-a-number")
+    with pytest.raises(ValueError):
+        resolve_cache(None)
+    monkeypatch.delenv(CACHE_MAX_ENV)
+    assert resolve_cache(None).max_entries is None
+
+
+def test_cli_flag_builds_a_capped_cache(tmp_path):
+    from repro.harness.cli import _cache, build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["fig5", "--cache-dir", str(tmp_path), "--cache-max-entries", "5"]
+    )
+    cache = _cache(args)
+    assert isinstance(cache, ResultCache)
+    assert cache.max_entries == 5
+    assert cache.root == tmp_path
+    # The cap alone implies --cache (default directory).
+    implied = _cache(parser.parse_args(["fig5", "--cache-max-entries", "9"]))
+    assert isinstance(implied, ResultCache)
+    assert implied.max_entries == 9
+    assert str(implied.root) == DEFAULT_CACHE_DIR
+
+
+def test_cli_cap_respects_environment_cache_dir(tmp_path, monkeypatch):
+    """--cache-max-entries must cap the environment-selected directory,
+    not silently redirect to the default one."""
+    from repro.harness.cli import _cache, build_parser
+
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path / "warm"))
+    cache = _cache(build_parser().parse_args(["fig5", "--cache-max-entries", "4"]))
+    assert isinstance(cache, ResultCache)
+    assert cache.root == tmp_path / "warm"
+    assert cache.max_entries == 4
+    # REPRO_CACHE=1 (default directory) and unset both fall back to the
+    # default location.
+    monkeypatch.setenv(CACHE_ENV, "1")
+    assert str(_cache(build_parser().parse_args(["fig5", "--cache-max-entries", "4"])).root) == DEFAULT_CACHE_DIR
+
+
+def test_cli_rejects_non_positive_cap(capsys):
+    from repro.harness.cli import build_parser
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig5", "--cache-max-entries", "0"])
+    assert "must be >= 1" in capsys.readouterr().err

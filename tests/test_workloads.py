@@ -198,3 +198,62 @@ def test_mix_builds_traces(small_spec):
     for trace in traces:
         record = trace.next_record()
         assert record.address >= 0
+
+
+# ----------------------------------------------------------------------
+# Channel-affine profiles.
+# ----------------------------------------------------------------------
+def test_pinned_profile_emits_only_its_channel(small_spec):
+    from dataclasses import replace as _replace
+
+    spec2 = _replace(small_spec, channels=2)
+    mapping = AddressMapping(spec2, MappingScheme.MOP)
+    profile = profile_by_name("429.mcf").pinned_to(1)
+    assert profile.channel_affinity == 1
+    trace = ProfileTrace(profile, spec2, mapping, DeterministicRng(7))
+    channels = {mapping.decode(trace.next_record().address).channel for _ in range(200)}
+    assert channels == {1}
+    # Affinity wraps modulo the channel count.
+    wrapped = ProfileTrace(
+        profile_by_name("429.mcf").pinned_to(3), spec2, mapping, DeterministicRng(7)
+    )
+    channels = {mapping.decode(wrapped.next_record().address).channel for _ in range(50)}
+    assert channels == {1}
+
+
+def test_unpinned_profile_still_spreads_rows(small_spec):
+    from dataclasses import replace as _replace
+
+    spec2 = _replace(small_spec, channels=2)
+    mapping = AddressMapping(spec2, MappingScheme.MOP)
+    trace = ProfileTrace(profile_by_name("429.mcf"), spec2, mapping, DeterministicRng(7))
+    channels = {mapping.decode(trace.next_record().address).channel for _ in range(300)}
+    assert channels == {0, 1}
+
+
+def test_channel_affine_run_skews_per_channel_rows():
+    """End to end: a pinned working set drives all demand traffic to one
+    channel shard, visible in the per-channel ChannelResult rows."""
+    from repro.harness.runner import HarnessConfig, Runner
+    from repro.workloads.generator import build_benign_trace as _build
+
+    hcfg = HarnessConfig(
+        scale=128.0, instructions_per_thread=2_000, warmup_ns=1_000.0, num_channels=2
+    )
+    profile = profile_by_name("429.mcf").pinned_to(0)
+    trace = _build(profile, hcfg.spec(), hcfg.mapping(), seed=hcfg.seed)
+    outcome = Runner(hcfg).run_traces([trace], "none")
+    rows = outcome.result.channels
+    assert len(rows) == 2
+    pinned, other = rows[0], rows[1]
+    # All reads/writes/activations land on the pinned channel; the
+    # other shard sees only background refresh.
+    assert pinned.counts.rd > 0
+    assert pinned.counts.act > 0
+    assert other.counts.rd == 0
+    assert other.counts.wr == 0
+    assert other.counts.act == 0
+    # Per-thread per-channel stats agree with the device-level skew.
+    per_channel = outcome.result.threads[0].mem_per_channel
+    assert per_channel[0].accesses > 0
+    assert per_channel[1].accesses == 0
