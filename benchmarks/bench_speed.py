@@ -1,6 +1,6 @@
 """Wall-clock speed benchmark: the perf trajectory anchor.
 
-Measures four things and emits ``BENCH_speed.json`` at the repo root:
+Measures five things and emits ``BENCH_speed.json`` at the repo root:
 
 1. **Canonical Figure 5 sweep** — ``fig5_multicore`` over
    ``--mixes`` mixes per scenario and all paper mechanisms, run
@@ -14,7 +14,12 @@ Measures four things and emits ``BENCH_speed.json`` at the repo root:
 3. **Single-process hot loop** — one attack mix under ``none`` and
    under ``blockhammer``, with events/second derived from
    ``SimResult.events_processed``.
-4. **Seed baseline** — the same sweep and single runs executed against
+4. **Channel-scaling sweep** — the ``channel_scaling`` driver over
+   channels {1, 2, 4} (one mix per scenario, BlockHammer), cold through
+   a throwaway result cache and warm again: the warm run must perform
+   zero simulations while reproducing the summary/attribution rows
+   exactly.
+5. **Seed baseline** — the same sweep and single runs executed against
    the repository's seed commit (default: the root commit) in a
    temporary git worktree, giving the honest "vs. seed" speedups.
    ``--no-seed`` skips this and carries the baseline forward from an
@@ -95,6 +100,46 @@ def measure_cached_rerun(num_mixes: int, reference_rows):
         "warm_s": warm_s,
         "warm_simulations_executed": warm_sims,
         "rows_identical": cold_rows == warm_rows == reference_rows,
+    }
+
+
+def measure_channel_sweep(channel_counts=(1, 2, 4)):
+    """Cold-store then warm-replay the channel-scaling study through a
+    throwaway result cache; the warm run must perform zero simulations
+    and reproduce the rows exactly."""
+    import shutil
+    import tempfile
+
+    from repro.harness import parallel
+    from repro.harness.cache import ResultCache
+    from repro.harness.experiments import channel_scaling
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-repro-chansweep-")
+    kwargs = dict(
+        channel_counts=tuple(channel_counts),
+        num_mixes=1,
+        mechanisms=["blockhammer"],
+        workers=1,
+    )
+    try:
+        cache = ResultCache(cache_dir)
+        start = time.perf_counter()
+        cold = channel_scaling(_hcfg(), cache=cache, **kwargs)
+        cold_s = time.perf_counter() - start
+        executed_before = parallel.job_executions()
+        start = time.perf_counter()
+        warm = channel_scaling(_hcfg(), cache=cache, **kwargs)
+        warm_s = time.perf_counter() - start
+        warm_sims = parallel.job_executions() - executed_before
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "channel_counts": list(channel_counts),
+        "cold_store_s": round(cold_s, 2),
+        "warm_s": round(warm_s, 4),
+        "warm_simulations_executed": warm_sims,
+        "rows_identical": warm == cold,
+        "attribution_rows": len(cold["attribution"]),
     }
 
 
@@ -233,6 +278,15 @@ def main(argv: list[str] | None = None) -> int:
         f"identical={cache_stats['rows_identical']})"
     )
     single = measure_single_runs()
+    channel_sweep = measure_channel_sweep()
+    print(
+        f"  chan sweep  : {channel_sweep['cold_store_s']:7.2f} s cold "
+        f"({channel_sweep['channel_counts']} channels, "
+        f"{channel_sweep['attribution_rows']} attribution rows), "
+        f"{channel_sweep['warm_s']:7.4f} s warm "
+        f"({channel_sweep['warm_simulations_executed']} sims, "
+        f"identical={channel_sweep['rows_identical']})"
+    )
 
     seed = None
     if args.no_seed:
@@ -263,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
             "serial_parallel_identical": identical,
             "cached_rerun": cache_stats,
             "single": single,
+            "channel_sweep": channel_sweep,
         },
         "seed": seed,
     }

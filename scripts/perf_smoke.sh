@@ -3,10 +3,13 @@
 # (job pickling, pool fan-out, extractor transport, keyed assembly),
 # through the persistent result cache — one 2-channel job goes through
 # the pool+cache path cold then warm, asserting the warm run performs
-# zero simulations — and a differential scheduler smoke: one attack
-# seed simulated under both the incremental FR-FCFS policy and the
-# naive ReferenceFrFcfsPolicy, asserting bit-identical command streams
-# and result rows.  Runs in seconds; part of tier-1 via the perf_smoke
+# zero simulations — a cached channel-sweep smoke: the {1,2,4}
+# channel-scaling driver cold-stores then warm-replays with zero
+# simulations while emitting per-channel attribution rows for every
+# sweep point — and a differential scheduler smoke: one attack seed
+# simulated under both the incremental FR-FCFS policy and the naive
+# ReferenceFrFcfsPolicy, asserting bit-identical command streams and
+# result rows.  Runs in seconds; part of tier-1 via the perf_smoke
 # marker.
 #
 # Usage: scripts/perf_smoke.sh [extra pytest args]

@@ -4,10 +4,10 @@ Every :class:`~repro.harness.parallel.SimJob` is a pure function of its
 ``key`` (configuration + workload + mechanism) and of the simulator
 source code.  This module stores finished :class:`JobResult`\\ s as JSON
 on disk, content-addressed by ``sha256(source_fingerprint + repr(key))``,
-so re-running an unchanged sweep (``fig4``/``fig5``/``fig6``/``rhli``/
-``sec84``/``table8``) performs **zero** simulations and returns
-bit-identical rows — floats survive the JSON round-trip exactly
-(``repr`` shortest-round-trip encoding).
+so re-running an unchanged sweep (``fig4``/``fig5``/``chansweep``/
+``fig6``/``rhli``/``sec84``/``table8``) performs **zero** simulations
+and returns bit-identical rows — floats survive the JSON round-trip
+exactly (``repr`` shortest-round-trip encoding).
 
 Invalidation is automatic and conservative: the fingerprint hashes every
 ``repro`` source file, so *any* simulator change misses the whole cache.
@@ -93,6 +93,7 @@ def _decode_channel(data: dict) -> ChannelResult:
         victim_refreshes=data["victim_refreshes"],
         commands_issued=data["commands_issued"],
         refresh_phase_ns=data["refresh_phase_ns"],
+        blocked_injections=data["blocked_injections"],
     )
 
 
@@ -125,6 +126,9 @@ def _decode_delay_stats(data: dict):
 _EXTRA_CODECS = {
     "thread_rhli": (lambda v: v, lambda v: v),
     "delay_stats": (dataclasses.asdict, _decode_delay_stats),
+    # Plain lists/dicts of JSON scalars: floats survive the round-trip
+    # exactly (repr shortest-round-trip encoding), so identity works.
+    "channel_attribution": (lambda v: v, lambda v: v),
 }
 
 #: Extractor names the cache can round-trip (see the check in

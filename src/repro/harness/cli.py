@@ -5,6 +5,7 @@ Usage::
     python -m repro.harness.cli table1
     python -m repro.harness.cli security
     python -m repro.harness.cli fig5 --mixes 2 --scale 128
+    python -m repro.harness.cli chansweep --channel-sweep 1,2,4 --pinned
     python -m repro.harness.cli rhli
     python -m repro.harness.cli table4
 
@@ -26,9 +27,15 @@ from repro.harness.cache import (
     _env_max_entries,
     resolve_cache,
 )
-from repro.harness.reporting import format_table
+from repro.harness.reporting import (
+    format_attribution,
+    format_channel_summary,
+    format_table,
+    round_or_none,
+)
 from repro.harness.runner import HarnessConfig
 from repro.hwcost.mechanisms import table4_rows
+from repro.mitigations.registry import available_mitigations
 from repro.security.solver import prove_safety
 
 
@@ -147,17 +154,40 @@ def cmd_rhli(args) -> str:
     rows = experiments.rhli_experiment(
         _hcfg(args), num_mixes=args.mixes, workers=args.workers, cache=_cache(args)
     )
+
     return format_table(
         ["mode", "attacker mean", "attacker max", "benign max"],
         [
             [
                 r["mode"],
-                round(r["attacker_rhli_mean"], 2),
-                round(r["attacker_rhli_max"], 2),
-                round(r["benign_rhli_max"], 4),
+                round_or_none(r["attacker_rhli_mean"], 2),
+                round_or_none(r["attacker_rhli_max"], 2),
+                round_or_none(r["benign_rhli_max"], 4),
             ]
             for r in rows
         ],
+    )
+
+
+def cmd_chansweep(args) -> str:
+    """Channel-scaling study: fig5-style sweep at each channel count,
+    plus per-channel attribution rows."""
+    data = experiments.channel_scaling(
+        _hcfg(args),
+        channel_counts=tuple(args.channel_sweep),
+        num_mixes=args.mixes,
+        mechanisms=args.mechanisms,
+        workers=args.workers,
+        cache=_cache(args),
+        include_pinned=args.pinned,
+    )
+    return "\n".join(
+        [
+            format_channel_summary(data["summary"]),
+            "",
+            "per-channel attribution (RHLI / blacklist / throttle events):",
+            format_attribution(data["attribution"]),
+        ]
     )
 
 
@@ -187,6 +217,7 @@ _COMMANDS = {
     "table4": cmd_table4,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
+    "chansweep": cmd_chansweep,
     "rhli": cmd_rhli,
     "table8": cmd_table8,
 }
@@ -222,6 +253,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the spec's channel count)",
     )
     parser.add_argument(
+        "--channel-sweep",
+        type=_channel_list,
+        default=[1, 2, 4],
+        help="comma-separated channel counts for the chansweep command "
+        "(default: 1,2,4)",
+    )
+    parser.add_argument(
+        "--mechanisms",
+        nargs="+",
+        choices=available_mitigations(),
+        metavar="MECHANISM",
+        default=None,
+        help="mechanism subset for the chansweep command (default: all "
+        f"paper mechanisms; known: {', '.join(available_mitigations())})",
+    )
+    parser.add_argument(
+        "--pinned",
+        action="store_true",
+        help="chansweep: also run channel-affine (pinned) variants of "
+        "every mix, with the attacker confined to channel 0",
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         help="reuse cached results from .repro_cache/ (also REPRO_CACHE=1)",
@@ -252,6 +305,20 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return value
+
+
+def _channel_list(text: str) -> list[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError("must be comma-separated integers") from None
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError("channel counts must be >= 1")
+    if len(set(values)) != len(values):
+        # A duplicated point would duplicate every output row (the
+        # simulations themselves dedup by job key).
+        raise argparse.ArgumentTypeError("channel counts must be distinct")
+    return values
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -20,7 +20,7 @@ Every sweep driver follows the same three-stage shape on top of
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.harness.parallel import (
     JobResult,
@@ -34,8 +34,22 @@ from repro.harness.parallel import (
 from repro.harness.runner import HarnessConfig, Runner
 from repro.metrics.speedup import MultiprogramMetrics, compute_metrics
 from repro.mitigations.registry import PAPER_MECHANISMS
-from repro.workloads.mixes import ATTACKER_THREAD, WorkloadMix, attack_mixes, benign_mixes
+from repro.workloads.mixes import (
+    ATTACKER_THREAD,
+    WorkloadMix,
+    attack_mixes,
+    benign_mixes,
+    mix_row_offset,
+)
 from repro.workloads.profiles import TABLE8_PROFILES, Category
+
+
+def _stat(fn, values):
+    """``fn(values)`` with an empty-input guard: benign-only modes and
+    single-thread mixes produce empty attacker/benign statistic lists,
+    which must report as ``None`` rather than raising."""
+    values = list(values)
+    return fn(values) if values else None
 
 
 # ----------------------------------------------------------------------
@@ -128,8 +142,10 @@ def mix_sweep_jobs(
 ) -> list[SimJob]:
     """Jobs for a (mix × mechanism) sweep: the shared baseline run, one
     run per mechanism, and the benign alone-IPC runs.  Alone runs are
-    keyed by (config, app, slot) and deduplicate across mixes,
-    scenarios, and NRH-sweep call sites batched into one execution."""
+    keyed by (config, app, slot, pinned) and deduplicate across mixes,
+    scenarios, and NRH-sweep call sites batched into one execution;
+    pinned (channel-affine) mix slots get pinned alone runs so the
+    normalization trace matches the mix's bit-exactly."""
     jobs = []
     for mix in mixes:
         jobs.append(mix_job(hcfg, mix, "none"))
@@ -138,7 +154,16 @@ def mix_sweep_jobs(
         for slot, app in enumerate(mix.app_names):
             if slot in mix.attacker_threads:
                 continue
-            jobs.append(single_job(hcfg, app, "none", slot=slot))
+            jobs.append(
+                single_job(
+                    hcfg,
+                    app,
+                    "none",
+                    slot=slot,
+                    pinned=mix.pinned_channel(slot),
+                    threads=len(mix.app_names),
+                )
+            )
     return jobs
 
 
@@ -155,7 +180,10 @@ def _benign_ipc_maps(
         if slot in mix.attacker_threads:
             continue
         shared[slot] = outcome.result.threads[slot].ipc
-        alone[slot] = results[single_key(hcfg, app, slot, "none")].result.threads[0].ipc
+        alone_key = single_key(
+            hcfg, app, slot, "none", mix.pinned_channel(slot), len(mix.app_names)
+        )
+        alone[slot] = results[alone_key].result.threads[0].ipc
     return shared, alone
 
 
@@ -264,6 +292,210 @@ def summarize_mix_rows(rows: list[MixOutcomeRow]) -> list[dict]:
 
 
 # ----------------------------------------------------------------------
+# Channel-scaling study (ABACuS-style) with per-channel attribution
+# rows (BreakHammer direction).
+# ----------------------------------------------------------------------
+def _thread_channel_stats(result, channel: int):
+    """Per-thread :class:`~repro.mem.controller.ThreadMemStats` on one
+    channel.  Single-channel runs report no per-thread channel split —
+    their aggregate *is* the per-channel row."""
+    if result.num_channels == 1:
+        return [t.mem for t in result.threads]
+    return [t.mem_per_channel[channel] for t in result.threads]
+
+
+def assemble_attribution_rows(
+    hcfg: HarnessConfig,
+    mixes: list[WorkloadMix],
+    mechanisms: list[str],
+    scenario: str,
+    results: dict,
+    layout: str = "interleaved",
+) -> list[dict]:
+    """Per-channel attribution rows from executed mix-sweep jobs whose
+    mechanism runs requested the ``channel_attribution`` extractor.
+
+    One row per (mix, mechanism, channel): per-thread RHLI split into
+    attacker/benign maxima, blacklist and delay event counts
+    (mechanism-side), blocked injections (controller-side throttle
+    events, from :class:`~repro.sim.stats.ChannelResult`), and the
+    per-thread-per-channel slowdown proxy — each thread's average read
+    latency on that channel, normalized to the baseline (``none``) run
+    (``None`` where a thread issued no reads on the channel).  Together
+    these localize attack pressure to a channel, the data BreakHammer-
+    style targeted throttling keys on.
+    """
+    rows = []
+    for mix in mixes:
+        attackers = sorted(mix.attacker_threads)
+        base = results[mix_key(hcfg, mix, "none")]
+        for mechanism in mechanisms:
+            outcome = results[mix_key(hcfg, mix, mechanism)]
+            for entry in outcome.extras.get("channel_attribution", []):
+                channel = entry["channel"]
+                mech_stats = _thread_channel_stats(outcome.result, channel)
+                base_stats = _thread_channel_stats(base.result, channel)
+                slowdowns = [
+                    (
+                        m.avg_read_latency / b.avg_read_latency
+                        if m.read_latency_count and b.read_latency_count
+                        else None
+                    )
+                    for m, b in zip(mech_stats, base_stats)
+                ]
+                rhli = entry["thread_rhli"]
+                benign_slots = [
+                    t for t in range(len(mech_stats)) if t not in mix.attacker_threads
+                ]
+                blocked = [m.blocked_injections for m in mech_stats]
+                rows.append(
+                    {
+                        "channels": hcfg.channels,
+                        "layout": layout,
+                        "scenario": scenario,
+                        "mix": mix.name,
+                        "mechanism": mechanism,
+                        "channel": channel,
+                        "attacker_rhli": (
+                            _stat(max, (rhli[t] for t in attackers))
+                            if rhli is not None
+                            else None
+                        ),
+                        "benign_rhli_max": (
+                            _stat(max, (rhli[t] for t in benign_slots))
+                            if rhli is not None
+                            else None
+                        ),
+                        "blacklisted_acts": entry["blacklisted_acts"],
+                        "total_acts": entry["total_acts"],
+                        "delayed_acts": entry["delayed_acts"],
+                        "false_positive_acts": entry["false_positive_acts"],
+                        "blocked_injections": outcome.result.channels[
+                            channel
+                        ].blocked_injections,
+                        "attacker_blocked_injections": sum(
+                            blocked[t] for t in attackers
+                        ),
+                        "attacker_slowdown": _stat(
+                            max,
+                            (s for t, s in enumerate(slowdowns)
+                             if t in mix.attacker_threads and s is not None),
+                        ),
+                        "benign_slowdown_max": _stat(
+                            max,
+                            (s for t, s in enumerate(slowdowns)
+                             if t not in mix.attacker_threads and s is not None),
+                        ),
+                        "thread_slowdown": slowdowns,
+                    }
+                )
+    return rows
+
+
+def _point_layouts(channels: int, layouts: list) -> list:
+    """Layouts actually simulated at one channel-count point: pinned
+    mixes degenerate record-for-record to the interleaved traces on a
+    single channel (every slot mods to channel 0), so the pinned layout
+    would only duplicate every simulation there — skip it."""
+    return [entry for entry in layouts if channels > 1 or entry[0] == "interleaved"]
+
+
+def channel_scaling_jobs(
+    hcfg: HarnessConfig,
+    channel_counts: tuple[int, ...],
+    layouts: list[tuple[str, list[WorkloadMix], list[WorkloadMix]]],
+    mechanisms: list[str],
+) -> list[SimJob]:
+    """One job batch covering every (channel count × layout) sweep
+    point.  Jobs are keyed by their per-point configuration, so the
+    batch dedups anything shared in-process and the persistent result
+    cache dedups across runs: re-running the sweep is fully warm, and a
+    ``--channels 1`` fig5 sweep already on disk serves this driver's
+    single-channel baseline and alone-IPC jobs (the mechanism runs
+    re-execute once to add the ``channel_attribution`` extra, which a
+    cache hit must cover)."""
+    jobs: list[SimJob] = []
+    for channels in channel_counts:
+        point = dataclass_replace(hcfg, num_channels=channels)
+        for _, benign, attack in _point_layouts(channels, layouts):
+            jobs += mix_sweep_jobs(
+                point, benign, mechanisms, extract=("channel_attribution",)
+            )
+            jobs += mix_sweep_jobs(
+                point, attack, mechanisms, extract=("channel_attribution",)
+            )
+    return jobs
+
+
+def channel_scaling(
+    hcfg: HarnessConfig,
+    channel_counts: tuple[int, ...] = (1, 2, 4),
+    num_mixes: int = 1,
+    mechanisms: list[str] | None = None,
+    workers: int | None = None,
+    cache=None,
+    include_pinned: bool = False,
+) -> dict:
+    """The channel-scaling study: the Figure 5 sweep repeated at each
+    channel count (ABACuS-style scaling axis), with per-channel
+    attribution rows.
+
+    ``include_pinned`` additionally runs the channel-affine variant of
+    every mix (slot *k* pinned to channel *k*, the attacker confined to
+    channel 0) next to the interleaved layout, so pinned-vs-interleaved
+    contention and attribution can be compared point for point.  At a
+    1-channel point the pinned traces degenerate to the interleaved
+    ones record for record, so the pinned layout is skipped there
+    rather than re-simulated (no ``layout="pinned"`` rows at
+    ``channels=1``).
+
+    Returns ``{"summary", "attribution", "mix_rows"}``:
+
+    * ``summary`` — :func:`summarize_mix_rows` dicts annotated with
+      ``channels`` and ``layout``;
+    * ``attribution`` — :func:`assemble_attribution_rows` dicts (one
+      per mix × mechanism × channel);
+    * ``mix_rows`` — ``{"channels", "layout", "row": MixOutcomeRow}``
+      per (mix, mechanism) point; the single-channel interleaved rows
+      are bit-identical to a plain :func:`fig5_multicore` run of the
+      same configuration (pinned by the golden-fixture tests).
+    """
+    mechanisms = mechanisms or PAPER_MECHANISMS
+    benign = benign_mixes(num_mixes)
+    attack = attack_mixes(num_mixes)
+    layouts = [("interleaved", benign, attack)]
+    if include_pinned:
+        layouts.append(
+            ("pinned", [m.pinned() for m in benign], [m.pinned() for m in attack])
+        )
+    jobs = channel_scaling_jobs(hcfg, tuple(channel_counts), layouts, mechanisms)
+    results = run_jobs(jobs, workers, cache=cache)
+
+    summary: list[dict] = []
+    attribution: list[dict] = []
+    mix_rows: list[dict] = []
+    for channels in channel_counts:
+        point = dataclass_replace(hcfg, num_channels=channels)
+        for layout, layout_benign, layout_attack in _point_layouts(channels, layouts):
+            rows = assemble_mix_rows(point, layout_benign, mechanisms, "no-attack", results)
+            rows += assemble_mix_rows(point, layout_attack, mechanisms, "attack", results)
+            mix_rows += [
+                {"channels": channels, "layout": layout, "row": row} for row in rows
+            ]
+            for item in summarize_mix_rows(rows):
+                item["channels"] = channels
+                item["layout"] = layout
+                summary.append(item)
+            attribution += assemble_attribution_rows(
+                point, layout_benign, mechanisms, "no-attack", results, layout
+            )
+            attribution += assemble_attribution_rows(
+                point, layout_attack, mechanisms, "attack", results, layout
+            )
+    return {"summary": summary, "attribution": attribution, "mix_rows": mix_rows}
+
+
+# ----------------------------------------------------------------------
 # Figure 6 — scaling with worsening RowHammer vulnerability.
 # ----------------------------------------------------------------------
 FIG6_MECHANISMS = ["para", "twice", "graphene", "blockhammer"]
@@ -310,10 +542,17 @@ def rhli_experiment(
     num_mixes: int = 2,
     workers: int | None = None,
     cache=None,
+    mixes: list[WorkloadMix] | None = None,
 ) -> list[dict]:
-    """RHLI statistics in observe-only and full-functional modes."""
+    """RHLI statistics in observe-only and full-functional modes.
+
+    ``mixes`` overrides the default attack mixes (e.g. benign-only or
+    single-thread mixes).  Statistics whose population is empty — no
+    attacker threads in benign-only mixes, no benign threads in a
+    one-thread attack mix — report ``None`` instead of raising.
+    """
     modes = ("blockhammer-observe", "blockhammer")
-    mixes = attack_mixes(num_mixes)
+    mixes = mixes if mixes is not None else attack_mixes(num_mixes)
     jobs = [
         mix_job(hcfg, mix, mode, extract=("thread_rhli",))
         for mode in modes
@@ -334,10 +573,10 @@ def rhli_experiment(
         rows.append(
             {
                 "mode": mode,
-                "attacker_rhli_mean": statistics.mean(attacker_rhli),
-                "attacker_rhli_max": max(attacker_rhli),
-                "attacker_rhli_min": min(attacker_rhli),
-                "benign_rhli_max": max(benign_rhli),
+                "attacker_rhli_mean": _stat(statistics.mean, attacker_rhli),
+                "attacker_rhli_max": _stat(max, attacker_rhli),
+                "attacker_rhli_min": _stat(min, attacker_rhli),
+                "benign_rhli_max": _stat(max, benign_rhli),
             }
         )
     return rows
@@ -457,7 +696,7 @@ def rowmap_ablation(hcfg: HarnessConfig, mechanisms: list[str] | None = None) ->
         benign = [
             build_benign_trace(
                 profile_by_name(app), spec, mapping, seed=scrambled_cfg.seed + slot,
-                row_offset=(slot * 8192) % spec.rows_per_bank,
+                row_offset=mix_row_offset(spec, slot),
             )
             for slot, app in enumerate(["473.astar", "450.soplex", "403.gcc"], start=1)
         ]

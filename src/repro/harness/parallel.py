@@ -46,7 +46,7 @@ from repro.harness.cache import CACHEABLE_EXTRAS, ResultCache, resolve_cache
 from repro.harness.runner import HarnessConfig, Runner, RunOutcome
 from repro.sim.stats import SimResult
 from repro.utils.aggregate import merge_fields
-from repro.workloads.mixes import WorkloadMix
+from repro.workloads.mixes import DEFAULT_MIX_THREADS, WorkloadMix
 
 #: Environment variable consulted when a driver does not pass an
 #: explicit worker count.
@@ -79,11 +79,49 @@ def _extract_thread_rhli(outcome: RunOutcome) -> list[float]:
     ]
 
 
+def _extract_channel_attribution(outcome: RunOutcome) -> list[dict]:
+    """Mechanism-side per-channel attribution rows (the BreakHammer
+    direction: localize which channel accrues RHLI and throttling).
+
+    One dict per channel: ``thread_rhli`` (per-thread maximum RHLI on
+    that channel's mechanism instance, ``None`` for mechanisms without
+    RHLI tracking), ``blacklisted_acts`` (AttackThrottler events), and
+    the RowBlocker delay counters (``total_acts``/``delayed_acts``/
+    ``false_positive_acts``; zero for mechanisms without delay stats).
+    Controller-side throttle events (blocked injections) live on
+    :class:`~repro.sim.stats.ChannelResult` instead.  Aggregation
+    contract: counters sum across channels, RHLI maxes — mirrored by
+    :func:`_extract_thread_rhli` and asserted by the attribution tests.
+    """
+    num_threads = len(outcome.result.threads)
+    rows = []
+    for channel, mechanism in enumerate(outcome.mechanisms):
+        rhli = None
+        if hasattr(mechanism, "thread_max_rhli"):
+            rhli = [mechanism.thread_max_rhli(t) for t in range(num_threads)]
+        throttler = getattr(mechanism, "throttler", None)
+        stats = mechanism.delay_stats() if hasattr(mechanism, "delay_stats") else None
+        rows.append(
+            {
+                "channel": channel,
+                "thread_rhli": rhli,
+                "blacklisted_acts": getattr(throttler, "blacklisted_acts_total", 0),
+                "total_acts": stats.total_acts if stats is not None else 0,
+                "delayed_acts": stats.delayed_acts if stats is not None else 0,
+                "false_positive_acts": (
+                    stats.false_positive_acts if stats is not None else 0
+                ),
+            }
+        )
+    return rows
+
+
 #: Named, picklable-result extractors applied to the finished run
 #: inside the worker process.
 EXTRACTORS = {
     "delay_stats": _extract_delay_stats,
     "thread_rhli": _extract_thread_rhli,
+    "channel_attribution": _extract_channel_attribution,
 }
 
 # Every extractor must have a cache codec, or jobs requesting it would
@@ -106,7 +144,9 @@ class SimJob:
     * ``"single"`` — one benign application (``app``) running alone,
       seeded as mix slot ``slot`` (slot 0 reproduces ``Runner.run_single``;
       other slots reproduce the alone-IPC runs used by multiprogram
-      metrics).
+      metrics).  ``pinned`` confines the working set to one memory
+      channel and ``threads`` is the mirrored mix's width (row-stripe
+      stride), matching the slot of the mix being normalized.
     * ``"mix"`` — a multiprogrammed :class:`WorkloadMix`.
 
     ``key`` must be hashable, deterministic, and unique per distinct
@@ -120,6 +160,8 @@ class SimJob:
     mechanism: str = "none"
     app: str | None = None
     slot: int = 0
+    pinned: int | None = None
+    threads: int = DEFAULT_MIX_THREADS
     mix: WorkloadMix | None = None
     extract: tuple[str, ...] = ()
 
@@ -183,7 +225,13 @@ def execute_job(job: SimJob) -> JobResult:
     JOB_EXECUTIONS += 1
     runner = _runner_for(job.hcfg)
     if job.kind == "single":
-        outcome = runner.run_single(job.app, job.mechanism, slot=job.slot)
+        outcome = runner.run_single(
+            job.app,
+            job.mechanism,
+            slot=job.slot,
+            pinned=job.pinned,
+            threads=job.threads,
+        )
     else:
         outcome = runner.run_mix(job.mix, job.mechanism)
     extras = {name: EXTRACTORS[name](outcome) for name in job.extract}
@@ -315,19 +363,39 @@ def _execute_jobs(
 # ----------------------------------------------------------------------
 # Key helpers shared by the experiment drivers.
 # ----------------------------------------------------------------------
-def single_key(hcfg: HarnessConfig, app: str, slot: int, mechanism: str) -> JobKey:
-    """Key for an application running alone (slot-seeded)."""
-    return ("single", hcfg, app, slot, mechanism)
+def single_key(
+    hcfg: HarnessConfig,
+    app: str,
+    slot: int,
+    mechanism: str,
+    pinned: int | None = None,
+    threads: int = DEFAULT_MIX_THREADS,
+) -> JobKey:
+    """Key for an application running alone (slot-seeded; ``pinned``
+    and ``threads`` identify the channel-affine/stripe-layout variant
+    of the trace — mixes of different widths must not share alone
+    runs)."""
+    return ("single", hcfg, app, slot, mechanism, pinned, threads)
 
 
 def mix_key(hcfg: HarnessConfig, mix: WorkloadMix, mechanism: str) -> JobKey:
     """Key for a multiprogrammed mix under a mechanism.
 
     Covers every field that defines the simulation — ``has_attack``
-    changes core parameters and completion targets, so two mixes
-    differing only there must not share a key.
+    changes core parameters and completion targets, ``attack_seed``
+    selects the attack trace, and ``pinned_channels`` the channel
+    layout, so mixes differing only there must not share a key.
     """
-    return ("mix", hcfg, mix.name, mix.app_names, mix.has_attack, mechanism)
+    return (
+        "mix",
+        hcfg,
+        mix.name,
+        mix.app_names,
+        mix.has_attack,
+        mix.attack_seed,
+        mix.pinned_channels,
+        mechanism,
+    )
 
 
 def single_job(
@@ -336,14 +404,18 @@ def single_job(
     mechanism: str = "none",
     slot: int = 0,
     extract: tuple[str, ...] = (),
+    pinned: int | None = None,
+    threads: int = DEFAULT_MIX_THREADS,
 ) -> SimJob:
     return SimJob(
-        key=single_key(hcfg, app, slot, mechanism),
+        key=single_key(hcfg, app, slot, mechanism, pinned, threads),
         hcfg=hcfg,
         kind="single",
         mechanism=mechanism,
         app=app,
         slot=slot,
+        pinned=pinned,
+        threads=threads,
         extract=extract,
     )
 

@@ -1,4 +1,13 @@
-"""Plain-text table formatting for benchmark output."""
+"""Plain-text table formatting for benchmark and CLI output.
+
+Besides the generic :func:`format_table`, this module renders the
+channel-scaling study's two row families (see
+:func:`repro.harness.experiments.channel_scaling`): the per-point
+summary table and the per-channel attribution table — per-channel RHLI
+(attacker vs benign), blacklist/delay event counts, throttle events
+(blocked injections), and the per-thread-per-channel slowdown proxy
+that localizes attack pressure to a channel.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,8 @@ from typing import Iterable
 
 
 def _fmt(value) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, float):
         if value == 0.0:
             return "0"
@@ -17,8 +28,15 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def round_or_none(value, digits: int):
+    """``round`` that passes ``None`` through — statistics over empty
+    populations (benign-only / single-thread mixes, threads with no
+    reads on a channel) report None and render as ``-``."""
+    return None if value is None else round(value, digits)
+
+
 def format_table(headers: list[str], rows: Iterable[Iterable]) -> str:
-    """Align a table for terminal output."""
+    """Align a table for terminal output (``None`` renders as ``-``)."""
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
@@ -31,3 +49,67 @@ def format_table(headers: list[str], rows: Iterable[Iterable]) -> str:
     for row in str_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_channel_summary(summary: list[dict]) -> str:
+    """The channel-scaling summary table (one row per channels × layout
+    × scenario × mechanism point)."""
+    return format_table(
+        ["ch", "layout", "scenario", "mechanism", "WS", "HS", "MS", "energy", "flips"],
+        [
+            [
+                s["channels"],
+                s["layout"],
+                s["scenario"],
+                s["mechanism"],
+                round(s["norm_ws_mean"], 3),
+                round(s["norm_hs_mean"], 3),
+                round(s["norm_ms_mean"], 3),
+                round(s["norm_energy_mean"], 3),
+                s["bitflips"],
+            ]
+            for s in summary
+        ],
+    )
+
+
+def format_attribution(attribution: list[dict]) -> str:
+    """The per-channel attribution table (one row per mix × mechanism ×
+    channel).  RHLI and slowdown cells are ``-`` where the statistic has
+    no population (mechanisms without RHLI tracking, threads with no
+    reads on the channel)."""
+    return format_table(
+        [
+            "ch",
+            "layout",
+            "scenario",
+            "mix",
+            "mechanism",
+            "#",
+            "atk RHLI",
+            "ben RHLI",
+            "blacklist",
+            "delayed",
+            "blocked",
+            "atk slow",
+            "ben slow",
+        ],
+        [
+            [
+                a["channels"],
+                a["layout"],
+                a["scenario"],
+                a["mix"],
+                a["mechanism"],
+                a["channel"],
+                round_or_none(a["attacker_rhli"], 3),
+                round_or_none(a["benign_rhli_max"], 4),
+                a["blacklisted_acts"],
+                a["delayed_acts"],
+                a["blocked_injections"],
+                round_or_none(a["attacker_slowdown"], 3),
+                round_or_none(a["benign_slowdown_max"], 3),
+            ]
+            for a in attribution
+        ],
+    )

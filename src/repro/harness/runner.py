@@ -26,7 +26,7 @@ from repro.mitigations.registry import build_mitigation
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
 from repro.sim.system import System
-from repro.workloads.mixes import WorkloadMix
+from repro.workloads.mixes import DEFAULT_MIX_THREADS, WorkloadMix, mix_row_offset
 from repro.workloads.profiles import WorkloadProfile, profile_by_name
 
 #: Attack threads replay a memory-level firehose trace (Section 7), not
@@ -267,16 +267,27 @@ class Runner:
 
     # ------------------------------------------------------------------
     def run_single(
-        self, app_name: str, mechanism_name: str = "none", slot: int = 0
+        self,
+        app_name: str,
+        mechanism_name: str = "none",
+        slot: int = 0,
+        pinned: int | None = None,
+        threads: int = DEFAULT_MIX_THREADS,
     ) -> RunOutcome:
         """Single-core run of one Table 8 application (Figure 4).
 
         ``slot`` seeds the trace as if the app occupied that mix slot,
         which is how the alone-IPC runs behind the multiprogram metrics
         are produced (the job layer runs them as ``single`` jobs).
+        ``pinned`` confines the working set to one memory channel and
+        ``threads`` is the width of the mix being mirrored (it sets the
+        row-stripe stride) — together they make the alone run replay the
+        mix slot's trace bit-exactly.
         """
         profile = profile_by_name(app_name)
-        trace = self._benign_trace(profile, slot=slot)
+        if pinned is not None:
+            profile = profile.pinned_to(pinned)
+        trace = self._benign_trace(profile, slot=slot, threads=threads)
         return self.run_traces([trace], mechanism_name)
 
     def run_mix(
@@ -322,9 +333,13 @@ class Runner:
         """IPC of the mix's ``slot`` thread running alone on the baseline
         system (cached across mechanisms and scenarios)."""
         app = mix.app_names[slot]
-        key = (app, self.hcfg.seed + slot, slot)
+        pinned = mix.pinned_channel(slot)
+        threads = len(mix.app_names)
+        key = (app, self.hcfg.seed + slot, slot, pinned, threads)
         if key not in self._alone_ipc_cache:
-            outcome = self.run_single(app, "none", slot=slot)
+            outcome = self.run_single(
+                app, "none", slot=slot, pinned=pinned, threads=threads
+            )
             self._alone_ipc_cache[key] = outcome.result.threads[0].ipc
         return self._alone_ipc_cache[key]
 
@@ -342,7 +357,9 @@ class Runner:
         return shared, alone
 
     # ------------------------------------------------------------------
-    def _benign_trace(self, profile: WorkloadProfile, slot: int):
+    def _benign_trace(
+        self, profile: WorkloadProfile, slot: int, threads: int = DEFAULT_MIX_THREADS
+    ):
         from repro.workloads.generator import build_benign_trace
 
         spec = self.hcfg.spec()
@@ -351,5 +368,7 @@ class Runner:
             spec,
             self.hcfg.mapping(),
             seed=self.hcfg.seed + slot,
-            row_offset=(slot * 8192) % spec.rows_per_bank,
+            # Mirror the mix's row-stripe layout so the alone run
+            # replays the exact trace of the mix's ``slot`` thread.
+            row_offset=mix_row_offset(spec, slot, threads),
         )

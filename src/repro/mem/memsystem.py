@@ -222,6 +222,9 @@ class MemorySystem:
                     victim_refreshes=controller.vref_count,
                     commands_issued=controller.commands_issued,
                     refresh_phase_ns=controller.refresh.phase_offset_ns,
+                    blocked_injections=sum(
+                        stats.blocked_injections for stats in controller.thread_stats
+                    ),
                 )
             )
         return rows

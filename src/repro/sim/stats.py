@@ -12,7 +12,13 @@ from repro.mem.controller import ThreadMemStats
 @dataclass
 class ChannelResult:
     """Per-channel outcome of one simulation (one row per memory
-    channel; the aggregate lives on :class:`SimResult` itself)."""
+    channel; the aggregate lives on :class:`SimResult` itself).
+
+    ``blocked_injections`` counts requests this channel's controller
+    refused at injection time (queue-full plus mitigation in-flight
+    quotas — the throttle-event side of per-channel attribution; the
+    mechanism-side counters travel through the ``channel_attribution``
+    extractor in :mod:`repro.harness.parallel`)."""
 
     channel: int
     counts: CommandCounts
@@ -22,6 +28,7 @@ class ChannelResult:
     victim_refreshes: int
     commands_issued: int
     refresh_phase_ns: float = 0.0
+    blocked_injections: int = 0
 
 
 @dataclass

@@ -27,6 +27,12 @@ from repro.dram.address import AddressMapping, DecodedAddress
 from repro.dram.spec import DramSpec
 from repro.utils.validation import require
 
+#: Canonical victim row of the un-seeded double-sided attack.  Seeded
+#: call sites (:meth:`repro.workloads.mixes.WorkloadMix.build_traces`)
+#: derive a per-mix victim row instead; the golden fixtures pin the
+#: results of this fixed fallback bit-exactly.
+DEFAULT_VICTIM_ROW = 2048
+
 
 class AttackTrace(Trace):
     """Cycles through aggressor rows across banks (and channels) at
@@ -112,7 +118,7 @@ class AttackTrace(Trace):
 def double_sided_attack(
     spec: DramSpec,
     mapping: AddressMapping,
-    victim_row: int = 2048,
+    victim_row: int = DEFAULT_VICTIM_ROW,
     banks: list[int] | None = None,
     channels: list[int] | None = None,
 ) -> AttackTrace:
@@ -127,7 +133,7 @@ def double_sided_attack(
 def single_sided_attack(
     spec: DramSpec,
     mapping: AddressMapping,
-    aggressor_row: int = 2048,
+    aggressor_row: int = DEFAULT_VICTIM_ROW,
     banks: list[int] | None = None,
     channels: list[int] | None = None,
 ) -> AttackTrace:
@@ -143,7 +149,7 @@ def single_sided_attack(
 def many_sided_attack(
     spec: DramSpec,
     mapping: AddressMapping,
-    first_row: int = 2048,
+    first_row: int = DEFAULT_VICTIM_ROW,
     sides: int = 9,
     banks: list[int] | None = None,
     channels: list[int] | None = None,

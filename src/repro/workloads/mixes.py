@@ -4,17 +4,45 @@ The paper evaluates 125 eight-thread mixes of randomly-chosen benign
 applications, plus 125 mixes where one thread is replaced by a
 double-sided RowHammer attack.  Mixes are deterministic functions of
 their index, so experiments are reproducible and subsets are stable.
+
+Row-space layout: each thread's working set lives in its own stripe of
+``rows_per_bank // threads`` rows (``slot * stride``), so co-running
+threads never silently alias onto each other's rows — the old
+``(slot * 8192) % rows_per_bank`` offset collapsed every thread onto
+offset 0 whenever ``rows_per_bank`` divided 8192 (small-geometry test
+specs).  For the canonical 8-thread mixes on the default 64K-row spec
+the stride is exactly the historical 8192, so golden fixtures are
+unchanged.
+
+Attack traces are seeded per mix: mix 0 keeps the canonical fixed
+victim row (:data:`~repro.workloads.attacks.DEFAULT_VICTIM_ROW`, which
+the golden fixtures pin bit-exactly), and every later mix derives its
+victim row from the mix's ``attack_seed`` within the attacker's row
+stripe — previously all 125 attack mixes hosted the byte-identical
+attack trace.
+
+Channel-affine variants: :meth:`WorkloadMix.pinned` returns a mix whose
+slot ``k`` is confined to channel ``k`` (modulo the system's channel
+count at build time) — benign threads through
+:meth:`~repro.workloads.profiles.WorkloadProfile.pinned_to`, the
+attacker through the ``channels=`` kwarg of
+:func:`~repro.workloads.attacks.double_sided_attack`.  Pinned mixes are
+the skewed-load scenarios a channel-sharded memory system (and
+per-channel attribution, the BreakHammer direction) must be exercised
+against; on a single-channel system they degenerate to the interleaved
+trace, record for record.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.cpu.trace import Trace
 from repro.dram.address import AddressMapping
 from repro.dram.spec import DramSpec
 from repro.utils.rng import DeterministicRng
-from repro.workloads.attacks import double_sided_attack
+from repro.utils.validation import require
+from repro.workloads.attacks import DEFAULT_VICTIM_ROW, double_sided_attack
 from repro.workloads.generator import build_benign_trace
 from repro.workloads.profiles import TABLE8_PROFILES
 
@@ -22,29 +50,128 @@ from repro.workloads.profiles import TABLE8_PROFILES
 #: Thread index that hosts the attack in attack mixes.
 ATTACKER_THREAD = 0
 
+#: Canonical mix width (the paper's eight-thread mixes).  Alone-IPC
+#: runs (:meth:`~repro.harness.runner.Runner.run_single`) mirror this
+#: layout so their traces are bit-identical to the mix's.
+DEFAULT_MIX_THREADS = 8
+
+
+def mix_row_stride(spec: DramSpec, threads: int = DEFAULT_MIX_THREADS) -> int:
+    """Rows-per-thread stripe width for a ``threads``-wide mix.
+
+    Every thread's working set is offset by ``slot * stride``; deriving
+    the stride from the geometry (instead of a fixed 8192) keeps the
+    stripes disjoint on small-geometry specs.
+    """
+    require(threads >= 1, "mix needs at least one thread")
+    stride = spec.rows_per_bank // threads
+    require(
+        stride >= 1,
+        f"{threads} threads cannot get disjoint row stripes in "
+        f"{spec.rows_per_bank} rows per bank",
+    )
+    return stride
+
+
+def mix_row_offset(
+    spec: DramSpec, slot: int, threads: int = DEFAULT_MIX_THREADS
+) -> int:
+    """Row offset of mix slot ``slot`` (see :func:`mix_row_stride`)."""
+    return slot * mix_row_stride(spec, threads)
+
+
+def _seeded_victim_row(stride: int, slot: int, seed: int) -> int:
+    """Deterministic victim row inside slot ``slot``'s row stripe.
+
+    Constraining the victim (and hence both aggressors, victim ± 1) to
+    the attacker's own stripe keeps seeded attacks from aliasing onto a
+    benign thread's working set.
+    """
+    require(
+        stride >= 4,
+        f"stride {stride} too small to place a double-sided attack "
+        "(need victim +/- 1 inside the attacker's stripe)",
+    )
+    low = slot * stride + 1
+    high = (slot + 1) * stride - 2
+    rng = DeterministicRng(seed).fork("attack-victim")
+    return rng.randint(low, high)
+
 
 @dataclass(frozen=True)
 class WorkloadMix:
-    """A named multiprogrammed workload."""
+    """A named multiprogrammed workload.
+
+    ``attack_seed`` seeds the attack trace's victim-row choice (``None``
+    keeps the canonical fixed :data:`DEFAULT_VICTIM_ROW`, the
+    golden-fixture fallback).  ``pinned_channels`` confines each slot to
+    one memory channel (``None`` = every slot interleaves).
+    """
 
     name: str
     app_names: tuple[str, ...]
     has_attack: bool
+    attack_seed: int | None = None
+    pinned_channels: tuple[int | None, ...] | None = None
 
     @property
     def attacker_threads(self) -> set[int]:
         return {ATTACKER_THREAD} if self.has_attack else set()
 
+    def pinned_channel(self, slot: int) -> int | None:
+        """Channel slot ``slot`` is pinned to (None = interleaved)."""
+        if self.pinned_channels is None:
+            return None
+        return self.pinned_channels[slot]
+
+    def pinned(self) -> "WorkloadMix":
+        """The channel-affine variant of this mix: slot ``k`` pinned to
+        channel ``k`` (modulo the channel count at trace-build time), so
+        an attacker in slot 0 is confined to channel 0."""
+        return replace(
+            self,
+            name=f"{self.name}-pinned",
+            pinned_channels=tuple(range(len(self.app_names))),
+        )
+
     def build_traces(
         self, spec: DramSpec, mapping: AddressMapping, seed: int = 1
     ) -> list[Trace]:
         """Instantiate the mix's traces against a spec and mapping."""
+        threads = len(self.app_names)
+        if self.pinned_channels is not None:
+            require(
+                len(self.pinned_channels) == threads,
+                "pinned_channels must have one entry per mix slot",
+            )
+        stride = mix_row_stride(spec, threads)
+        # Disjoint per-thread stripes by construction; the old
+        # (slot * 8192) % rows_per_bank offset aliased every thread onto
+        # offset 0 whenever rows_per_bank divided 8192.
+        offsets = [slot * stride for slot in range(threads)]
+        assert len(set(offsets)) == threads, "thread row stripes must not alias"
         traces: list[Trace] = []
         for slot, app in enumerate(self.app_names):
+            pinned = self.pinned_channel(slot)
             if app == "attack":
-                traces.append(double_sided_attack(spec, mapping))
+                if self.attack_seed is None:
+                    victim_row = DEFAULT_VICTIM_ROW  # golden-fixture fallback
+                else:
+                    victim_row = _seeded_victim_row(
+                        stride, slot, seed + self.attack_seed
+                    )
+                traces.append(
+                    double_sided_attack(
+                        spec,
+                        mapping,
+                        victim_row=victim_row,
+                        channels=None if pinned is None else [pinned % spec.channels],
+                    )
+                )
             else:
                 profile = next(p for p in TABLE8_PROFILES if p.name == app)
+                if pinned is not None:
+                    profile = profile.pinned_to(pinned)
                 traces.append(
                     build_benign_trace(
                         profile,
@@ -52,7 +179,7 @@ class WorkloadMix:
                         mapping,
                         seed=seed + slot,
                         # Spread working sets across the row space.
-                        row_offset=(slot * 8192) % spec.rows_per_bank,
+                        row_offset=offsets[slot],
                     )
                 )
         return traces
@@ -77,7 +204,14 @@ def benign_mixes(count: int = 125, threads: int = 8, master_seed: int = 2021) ->
 
 def attack_mixes(count: int = 125, threads: int = 8, master_seed: int = 2021) -> list[WorkloadMix]:
     """The paper's "RowHammer attack present" mixes (1 attacker + 7
-    benign threads)."""
+    benign threads).
+
+    Mix 0 keeps the canonical fixed attack (``attack_seed=None`` →
+    victim row :data:`DEFAULT_VICTIM_ROW`) — the golden fixtures pin its
+    results bit-exactly — while every later mix seeds its victim row
+    from ``(master_seed, index)`` so the 125 attack mixes no longer
+    host byte-identical attack traces.
+    """
     mixes = []
     for index in range(count):
         apps = _pick_apps(index + 10_000, threads - 1, master_seed)
@@ -87,6 +221,7 @@ def attack_mixes(count: int = 125, threads: int = 8, master_seed: int = 2021) ->
                 name=f"attack-{index:03d}",
                 app_names=tuple(names),
                 has_attack=True,
+                attack_seed=None if index == 0 else master_seed * 100_000 + index,
             )
         )
     return mixes

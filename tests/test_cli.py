@@ -48,3 +48,33 @@ def test_rhli_command_small(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "blockhammer-observe" in out
+
+
+def test_chansweep_command_small(capsys):
+    code = main(
+        [
+            "chansweep",
+            "--scale", "512",
+            "--instructions", "2000",
+            "--warmup-us", "2",
+            "--mixes", "1",
+            "--channel-sweep", "1,2",
+            "--mechanisms", "blockhammer",
+            "--pinned",
+            "--no-cache",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # Summary rows for both channel counts and both layouts, plus the
+    # per-channel attribution table.
+    assert "interleaved" in out and "pinned" in out
+    assert "attack-000-pinned" in out
+    assert "atk RHLI" in out
+
+
+def test_chansweep_rejects_bad_channel_list():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chansweep", "--channel-sweep", "1,zero"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chansweep", "--channel-sweep", "0"])

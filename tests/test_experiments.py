@@ -17,6 +17,7 @@ from repro.harness.experiments import (
     table8_calibration,
 )
 from repro.harness.runner import HarnessConfig
+from repro.workloads.mixes import WorkloadMix, benign_mixes
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +61,33 @@ def test_rhli_driver_shapes(tiny_hcfg):
     rows = rhli_experiment(tiny_hcfg, num_mixes=1)
     assert [r["mode"] for r in rows] == ["blockhammer-observe", "blockhammer"]
     assert all("attacker_rhli_mean" in r for r in rows)
+
+
+def test_rhli_benign_only_mixes_report_none_attacker_stats(tiny_hcfg):
+    """Benign-only mixes have an empty attacker-RHLI population: the
+    driver must emit None, not raise on statistics.mean/max of []."""
+    rows = rhli_experiment(tiny_hcfg, mixes=benign_mixes(1))
+    for row in rows:
+        assert row["attacker_rhli_mean"] is None
+        assert row["attacker_rhli_max"] is None
+        assert row["attacker_rhli_min"] is None
+        assert isinstance(row["benign_rhli_max"], float)
+
+
+def test_rhli_single_thread_attack_mix_reports_none_benign_stats():
+    """A one-thread attack-only mix has no benign threads; the run is
+    time-bounded because an attacker never gates completion."""
+    hcfg = HarnessConfig(
+        scale=512,
+        instructions_per_thread=2_000,
+        warmup_ns=1_000.0,
+        max_time_ns=20_000.0,
+    )
+    solo = WorkloadMix(name="solo-attack", app_names=("attack",), has_attack=True)
+    rows = rhli_experiment(hcfg, mixes=[solo])
+    for row in rows:
+        assert row["benign_rhli_max"] is None
+        assert isinstance(row["attacker_rhli_mean"], float)
 
 
 def test_sec84_driver_shape(tiny_hcfg):

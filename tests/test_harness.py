@@ -70,6 +70,24 @@ def test_benign_ipc_maps_exclude_attacker(runner):
     assert set(shared) == set(alone) == set(range(1, 8))
 
 
+def test_alone_trace_mirrors_mix_width(runner, hcfg):
+    """The alone-IPC trace must replay the mix slot's trace bit-exactly
+    for any mix width (the row-stripe stride follows the width)."""
+    from repro.workloads.mixes import WorkloadMix
+    from repro.workloads.profiles import profile_by_name
+
+    mix = WorkloadMix(
+        name="w4",
+        app_names=("403.gcc", "429.mcf", "473.astar", "450.soplex"),
+        has_attack=False,
+    )
+    traces = mix.build_traces(hcfg.spec(), hcfg.mapping(), seed=hcfg.seed)
+    alone = runner._benign_trace(profile_by_name("429.mcf"), slot=1, threads=4)
+    for _ in range(100):
+        ra, rb = traces[1].next_record(), alone.next_record()
+        assert (ra.gap, ra.address, ra.is_write) == (rb.gap, rb.address, rb.is_write)
+
+
 def test_with_nrh_rebuilds_config(hcfg):
     smaller = hcfg.with_nrh(1024)
     assert smaller.sim_nrh == 4

@@ -11,8 +11,15 @@ from repro.workloads.attacks import (
     many_sided_attack,
     single_sided_attack,
 )
+from repro.workloads.attacks import DEFAULT_VICTIM_ROW
 from repro.workloads.generator import ProfileTrace, build_benign_trace
-from repro.workloads.mixes import ATTACKER_THREAD, attack_mixes, benign_mixes
+from repro.workloads.mixes import (
+    ATTACKER_THREAD,
+    attack_mixes,
+    benign_mixes,
+    mix_row_offset,
+    mix_row_stride,
+)
 from repro.workloads.profiles import (
     TABLE8_PROFILES,
     Category,
@@ -198,6 +205,120 @@ def test_mix_builds_traces(small_spec):
     for trace in traces:
         record = trace.next_record()
         assert record.address >= 0
+
+
+# ----------------------------------------------------------------------
+# Row-stripe layout (the (slot * 8192) % rows_per_bank wrap bugfix).
+# ----------------------------------------------------------------------
+def test_row_offsets_match_historical_stride_on_default_geometry(spec):
+    # 64K rows / 8 threads -> the historical 8192 stride, so golden
+    # fixtures captured under the old formula are unchanged.
+    assert mix_row_stride(spec) == 8192
+    for slot in range(8):
+        assert mix_row_offset(spec, slot) == slot * 8192
+
+
+def test_row_offsets_distinct_on_small_geometry(small_spec):
+    # The old (slot * 8192) % rows_per_bank collapsed every slot onto
+    # offset 0 here (8192 % 4096 == 0), silently aliasing all eight
+    # working sets (and the attack's aggressor/victim rows).
+    assert small_spec.rows_per_bank == 4096
+    offsets = [mix_row_offset(small_spec, slot) for slot in range(8)]
+    assert len(set(offsets)) == 8
+    assert offsets == [slot * 512 for slot in range(8)]
+
+
+def test_row_stride_rejects_more_threads_than_rows(tiny_spec):
+    with pytest.raises(ConfigError):
+        mix_row_stride(tiny_spec, threads=tiny_spec.rows_per_bank + 1)
+
+
+def test_mix_threads_get_disjoint_stripes_on_small_geometry(small_spec):
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    mix = benign_mixes(1)[0]
+    traces = mix.build_traces(small_spec, mapping)
+    stride = mix_row_stride(small_spec, len(traces))
+    for slot, trace in enumerate(traces):
+        rows = {mapping.decode(trace.next_record().address).row for _ in range(50)}
+        profile = profile_by_name(mix.app_names[slot])
+        if profile.working_set_rows <= stride:
+            # Small working sets stay strictly inside their own stripe.
+            assert all(slot * stride <= r < (slot + 1) * stride for r in rows)
+
+
+# ----------------------------------------------------------------------
+# Per-mix attack seeding (the byte-identical-attack-trace bugfix).
+# ----------------------------------------------------------------------
+def test_attack_mix_zero_keeps_canonical_victim(spec):
+    # The fixed-seed fallback: mix 0 carries attack_seed=None and hosts
+    # the canonical fixed attack the golden fixtures pin.
+    mix = attack_mixes(1)[0]
+    assert mix.attack_seed is None
+    mapping = AddressMapping(spec, MappingScheme.MOP)
+    trace = mix.build_traces(spec, mapping)[ATTACKER_THREAD]
+    rows = {mapping.decode(trace.next_record().address).row for _ in range(64)}
+    assert rows == {DEFAULT_VICTIM_ROW - 1, DEFAULT_VICTIM_ROW + 1}
+
+
+def test_attack_mixes_host_distinct_attack_traces(spec):
+    # Previously every attack mix hosted the byte-identical attack
+    # trace; seeded mixes now hammer per-mix victim rows.
+    mapping = AddressMapping(spec, MappingScheme.MOP)
+    victims = []
+    for mix in attack_mixes(4):
+        trace = mix.build_traces(spec, mapping)[ATTACKER_THREAD]
+        rows = sorted(
+            {mapping.decode(trace.next_record().address).row for _ in range(64)}
+        )
+        assert len(rows) == 2 and rows[1] - rows[0] == 2  # victim +/- 1
+        victims.append(rows[0] + 1)
+    assert victims[0] == DEFAULT_VICTIM_ROW
+    assert len(set(victims)) == 4
+    # Seeded victims stay inside the attacker's row stripe, away from
+    # every benign thread's working set.
+    stride = mix_row_stride(spec, 8)
+    for victim in victims[1:]:
+        assert ATTACKER_THREAD * stride < victim < (ATTACKER_THREAD + 1) * stride - 1
+
+
+def test_attack_seeding_deterministic(spec):
+    mapping = AddressMapping(spec, MappingScheme.MOP)
+    mix_a = attack_mixes(3)[2]
+    mix_b = attack_mixes(3)[2]
+    ta = mix_a.build_traces(spec, mapping)[ATTACKER_THREAD]
+    tb = mix_b.build_traces(spec, mapping)[ATTACKER_THREAD]
+    for _ in range(32):
+        assert ta.next_record().address == tb.next_record().address
+
+
+# ----------------------------------------------------------------------
+# Channel-affine (pinned) mixes.
+# ----------------------------------------------------------------------
+def test_pinned_mix_confines_every_slot_to_its_channel(small_spec):
+    from dataclasses import replace as _replace
+
+    spec2 = _replace(small_spec, channels=2)
+    mapping = AddressMapping(spec2, MappingScheme.MOP)
+    mix = attack_mixes(1)[0].pinned()
+    assert mix.name == "attack-000-pinned"
+    traces = mix.build_traces(spec2, mapping)
+    for slot, trace in enumerate(traces):
+        channels = {
+            mapping.decode(trace.next_record().address).channel for _ in range(100)
+        }
+        assert channels == {slot % 2}
+
+
+def test_pinned_mix_degenerates_on_single_channel(small_spec):
+    """On a one-channel spec the pinned variant replays the interleaved
+    trace record for record."""
+    mapping = AddressMapping(small_spec, MappingScheme.MOP)
+    plain = attack_mixes(1)[0].build_traces(small_spec, mapping)
+    pinned = attack_mixes(1)[0].pinned().build_traces(small_spec, mapping)
+    for a, b in zip(plain, pinned):
+        for _ in range(50):
+            ra, rb = a.next_record(), b.next_record()
+            assert (ra.gap, ra.address, ra.is_write) == (rb.gap, rb.address, rb.is_write)
 
 
 # ----------------------------------------------------------------------
