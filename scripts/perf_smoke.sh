@@ -9,8 +9,10 @@
 # sweep point — and a differential scheduler smoke: one attack seed
 # simulated under both the incremental FR-FCFS policy and the naive
 # ReferenceFrFcfsPolicy, asserting bit-identical command streams and
-# result rows.  Runs in seconds; part of tier-1 via the perf_smoke
-# marker.
+# result rows — and an OS-governor sweep smoke: the ossweep driver
+# cold-stores then warm-replays with zero simulations while governor
+# policies (kill/quota/migrate) actually fire.  Runs in seconds; part
+# of tier-1 via the perf_smoke marker.
 #
 # Usage: scripts/perf_smoke.sh [extra pytest args]
 set -e

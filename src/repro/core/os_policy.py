@@ -2,15 +2,27 @@
 
 The paper proposes exposing per-<thread, bank> RHLI to the operating
 system, which "might kill or deschedule an attacking thread", and leaves
-the study of such policies to future work.  This module implements the
-simplest such policy as an extension: :class:`BlockHammerWithOsPolicy`
-watches each thread's maximum RHLI and, once it stays above a kill
-threshold for a configurable number of consecutive epochs, deschedules
-the thread permanently (modeled as a zero in-flight quota, which stops
-all further memory requests at the source).
+the study of such policies to future work.  This module keeps the
+original ``blockhammer-os`` mechanism name but is now a thin adapter
+over the first-class governor subsystem (:mod:`repro.os`):
+:class:`BlockHammerWithOsPolicy` embeds one mechanism-coupled
+:class:`~repro.os.governor.Governor` running a
+:class:`~repro.os.policies.KillPolicy`, reviewed from
+``on_time_advance`` so kill timing is bit-identical to the original
+hardwired implementation (one instance per channel, each watching its
+own channel's RHLI).
+
+The governor port also normalizes two review-cadence edges of the old
+code: the review clock anchors to the first observed time instead of
+assuming attach happens at t=0, and strike state is dropped for killed
+threads instead of retained forever.
 
 Compared to plain AttackThrottler quotas, descheduling removes even the
-attacker's tDelay-paced trickle of blacklisted activations.
+attacker's tDelay-paced trickle of blacklisted activations.  For
+system-level deployments — telemetry aggregated across channels,
+actions on cores (kill / quota / migrate) — attach a governor to the
+:class:`~repro.sim.system.System` instead (the harness's
+``GovernorSpec`` plumbing; see the ``ossweep`` experiment).
 """
 
 from __future__ import annotations
@@ -18,7 +30,8 @@ from __future__ import annotations
 from repro.core.blockhammer import BlockHammer
 from repro.core.config import BlockHammerConfig
 from repro.mitigations.base import MitigationContext
-from repro.utils.validation import require
+from repro.os.governor import Governor
+from repro.os.policies import KillPolicy
 
 
 class BlockHammerWithOsPolicy(BlockHammer):
@@ -33,40 +46,35 @@ class BlockHammerWithOsPolicy(BlockHammer):
         patience_epochs: int = 1,
         review_interval_ns: float | None = None,
     ) -> None:
-        require(kill_rhli > 0.0, "kill threshold must be positive")
-        require(patience_epochs >= 1, "patience must be >= 1 epoch")
         super().__init__(config=config, observe_only=False)
         self.kill_rhli = kill_rhli
         self.patience_epochs = patience_epochs
         # Default: review once per epoch (the RHLI counter cadence); an
         # OS could poll faster at the cost of more scheduler work.
         self.review_interval_ns = review_interval_ns
-        self._strikes: dict[int, int] = {}
-        self.killed_threads: set[int] = set()
-        self._next_review = 0.0
+        # Parameter validation lives in the policy (ConfigError on bad
+        # thresholds/patience, same contract as the original).
+        self.governor = Governor(
+            [KillPolicy(kill_rhli=kill_rhli, patience_epochs=patience_epochs)],
+            epoch_ns=review_interval_ns,
+        )
 
     def attach(self, context: MitigationContext) -> None:
         super().attach(context)
         if self.review_interval_ns is None:
             self.review_interval_ns = self.config.epoch_ns
-        self._next_review = self.review_interval_ns
+        self.governor.bind_mechanism(self, epoch_ns=self.review_interval_ns)
 
     def on_time_advance(self, now: float) -> None:
         super().on_time_advance(now)
-        while now >= self._next_review:
-            for thread in range(self.context.num_threads):
-                if thread in self.killed_threads:
-                    continue
-                if self.thread_max_rhli(thread) >= self.kill_rhli:
-                    strikes = self._strikes.get(thread, 0) + 1
-                    self._strikes[thread] = strikes
-                    if strikes >= self.patience_epochs:
-                        self.killed_threads.add(thread)
-                else:
-                    self._strikes[thread] = 0
-            self._next_review += self.review_interval_ns
+        self.governor.advance(now)
+
+    @property
+    def killed_threads(self) -> set[int]:
+        """Threads the governor has descheduled (read-only view)."""
+        return self.governor.killed
 
     def max_inflight_total(self, thread: int) -> int | None:
-        if thread in self.killed_threads:
+        if thread in self.governor.killed:
             return 0  # descheduled: no further memory requests
         return super().max_inflight_total(thread)

@@ -21,7 +21,7 @@ looping trace decodes the same addresses millions of times).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.cpu.cache import SetAssocCache
 from repro.cpu.trace import Trace
@@ -84,6 +84,15 @@ class Core:
         self._pending_writeback: Request | None = None
         self._retry_delay = self.params.retry_delay_ns
         self._trace_done = False
+        # OS governor hooks (repro.os): a descheduled core issues no
+        # further requests; the MLP limit starts at the parameter value
+        # and an OS quota policy may scale it down/back up; migration
+        # rebinds the decoder to re-pin future requests to one channel.
+        self.descheduled_at: float | None = None
+        self.requests_issued = 0
+        self.requests_at_deschedule: int | None = None
+        self.repinned_channel: int | None = None
+        self._mlp_limit = self.params.max_outstanding
         # Hot-path bindings, resolved once per core instead of per wake:
         # the per-instruction time step (a property computing a division)
         # and the mapping's memoized decoder.
@@ -125,9 +134,11 @@ class Core:
         Returns the next time the core needs waking, or None when it is
         blocked waiting for a read completion (or finished).
         """
+        if self.descheduled_at is not None:
+            return None  # killed by the OS governor: issues nothing more
         controller = self.controller
         outstanding = self._outstanding_reads
-        max_outstanding = self.params.max_outstanding
+        max_outstanding = self._mlp_limit
         while True:
             # Drain any stashed request first: it belongs to already-
             # retired instructions and must issue even if the retirement
@@ -160,6 +171,7 @@ class Core:
                 return now + delay
 
             # Accepted.
+            self.requests_issued += 1
             self._retry_delay = self.params.retry_delay_ns
             if request is self._pending:
                 self._pending = None
@@ -172,6 +184,51 @@ class Core:
         """A read this core issued has returned its data."""
         self._outstanding_reads.discard(request.request_id)
         self._maybe_finish(now)
+
+    # ------------------------------------------------------------------
+    # OS governor hooks (repro.os): deschedule / quota / migrate.
+    # ------------------------------------------------------------------
+    def deschedule(self, now: float) -> None:
+        """Kill this thread: no request issues after ``now``.
+
+        In-flight requests drain normally (they were issued before the
+        kill); the stashed pending request, if any, never issues.
+        """
+        if self.descheduled_at is None:
+            self.descheduled_at = now
+            self.requests_at_deschedule = self.requests_issued
+
+    def set_mlp_scale(self, scale: float) -> None:
+        """Scale the MLP limit (OS quota): effective max-outstanding is
+        ``max(1, floor(max_outstanding * scale))`` — a quota of one
+        request keeps even a fully-decayed thread schedulable, matching
+        AttackThrottler's nonzero floor below RHLI 1."""
+        require(scale > 0.0, "quota scale must be positive")
+        self._mlp_limit = max(1, int(self.params.max_outstanding * min(scale, 1.0)))
+
+    def repin_channel(self, channel: int) -> None:
+        """Re-pin future requests to ``channel`` (OS migration).
+
+        Rebinds the decoder so every address decodes onto the
+        quarantine channel; bank/row coordinates are unchanged
+        (modeling the OS remapping the thread's pages channel-wise).
+        The shared mapping memo is never mutated — remapped addresses
+        live in a per-core memo.
+        """
+        if self.repinned_channel == channel:
+            return
+        self.repinned_channel = channel
+        base_decode = self.mapping.decode
+        memo: dict[int, object] = {}
+
+        def decode(address: int, _base=base_decode, _memo=memo, _channel=channel):
+            decoded = _memo.get(address)
+            if decoded is None:
+                decoded = replace(_base(address), channel=_channel)
+                _memo[address] = decoded
+            return decoded
+
+        self._decode = decode
 
     # ------------------------------------------------------------------
     def _stash(self, request: Request) -> None:

@@ -129,6 +129,9 @@ _EXTRA_CODECS = {
     # Plain lists/dicts of JSON scalars: floats survive the round-trip
     # exactly (repr shortest-round-trip encoding), so identity works.
     "channel_attribution": (lambda v: v, lambda v: v),
+    # Governor.actions_summary() is JSON-safe by contract (lists of
+    # scalars, string keys); ungoverned runs store None.
+    "governor_actions": (lambda v: v, lambda v: v),
 }
 
 #: Extractor names the cache can round-trip (see the check in

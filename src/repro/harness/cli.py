@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness.cli security
     python -m repro.harness.cli fig5 --mixes 2 --scale 128
     python -m repro.harness.cli chansweep --channel-sweep 1,2,4 --pinned
+    python -m repro.harness.cli ossweep --policies kill quota migrate
     python -m repro.harness.cli rhli
     python -m repro.harness.cli table4
 
@@ -30,6 +31,7 @@ from repro.harness.cache import (
 from repro.harness.reporting import (
     format_attribution,
     format_channel_summary,
+    format_os_policy,
     format_table,
     round_or_none,
 )
@@ -191,6 +193,28 @@ def cmd_chansweep(args) -> str:
     )
 
 
+def cmd_ossweep(args) -> str:
+    """OS governor policy comparison: {no-governor, kill, quota,
+    migrate} × mechanisms over attack mixes, with benign slowdown
+    (vs the ungoverned run) and attacker RHLI per policy."""
+    import dataclasses
+
+    hcfg = _hcfg(args)
+    if args.channels is None:
+        # Channel migration needs somewhere to migrate *to*: default to
+        # two channels unless the user pinned a count explicitly.
+        hcfg = dataclasses.replace(hcfg, num_channels=2)
+    rows = experiments.os_policy_sweep(
+        hcfg,
+        num_mixes=args.mixes,
+        mechanisms=args.mechanisms,
+        policies=args.policies,
+        workers=args.workers,
+        cache=_cache(args),
+    )
+    return format_os_policy(rows)
+
+
 def cmd_table8(args) -> str:
     rows = experiments.table8_calibration(
         _hcfg(args), args.apps, workers=args.workers, cache=_cache(args)
@@ -218,6 +242,7 @@ _COMMANDS = {
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
     "chansweep": cmd_chansweep,
+    "ossweep": cmd_ossweep,
     "rhli": cmd_rhli,
     "table8": cmd_table8,
 }
@@ -265,8 +290,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_mitigations(),
         metavar="MECHANISM",
         default=None,
-        help="mechanism subset for the chansweep command (default: all "
-        f"paper mechanisms; known: {', '.join(available_mitigations())})",
+        help="mechanism subset for the chansweep/ossweep commands "
+        "(default: all paper mechanisms for chansweep, "
+        "blockhammer+naive-throttle for ossweep; known: "
+        f"{', '.join(available_mitigations())})",
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(experiments.OS_SWEEP_POLICIES),
+        metavar="POLICY",
+        default=None,
+        help="OS governor policies for the ossweep command (default: "
+        f"all; known: {', '.join(experiments.OS_SWEEP_POLICIES)})",
     )
     parser.add_argument(
         "--pinned",

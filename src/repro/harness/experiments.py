@@ -34,6 +34,8 @@ from repro.harness.parallel import (
 from repro.harness.runner import HarnessConfig, Runner
 from repro.metrics.speedup import MultiprogramMetrics, compute_metrics
 from repro.mitigations.registry import PAPER_MECHANISMS
+from repro.os.spec import GovernorSpec
+from repro.utils.validation import require
 from repro.workloads.mixes import (
     ATTACKER_THREAD,
     WorkloadMix,
@@ -493,6 +495,154 @@ def channel_scaling(
                 point, layout_attack, mechanisms, "attack", results, layout
             )
     return {"summary": summary, "attribution": attribution, "mix_rows": mix_rows}
+
+
+# ----------------------------------------------------------------------
+# OS governor policy comparison (ossweep): the BreakHammer direction —
+# does a software response above the mitigation recover benign
+# performance while containing the attacker?
+# ----------------------------------------------------------------------
+#: The sweep's policy points.  ``none`` is the no-governor control; the
+#: three governor specs review every 10 us (an OS polling the Section
+#: 3.2.3 RHLI interface; several reviews within even short runs).
+#: Thresholds are calibrated to the scaled harness: benign threads sit
+#: at RHLI exactly 0 while a throttled attacker's *per-epoch* RHLI
+#: still reads a few percent (the rotating counters clear each epoch),
+#: so a small positive threshold separates them cleanly — the same
+#: regime the ``blockhammer-os`` tests exercise.
+OS_SWEEP_POLICIES: dict[str, GovernorSpec | None] = {
+    "none": None,
+    "kill": GovernorSpec(
+        policy="kill", epoch_ns=10_000.0, threshold=0.02, patience_epochs=1
+    ),
+    "quota": GovernorSpec(policy="quota", epoch_ns=10_000.0, threshold=0.02),
+    "migrate": GovernorSpec(
+        policy="migrate", epoch_ns=10_000.0, threshold=0.02, patience_epochs=1
+    ),
+}
+
+#: Default mechanism axis: full-functional BlockHammer (hardware
+#: throttling + OS response) next to observe-only BlockHammer, where
+#: the hardware never interferes and the *governor alone* must contain
+#: the attack — the starkest software-response comparison.  Reactive
+#: baselines (graphene, para, …) are accepted too and degrade
+#: gracefully: with no RHLI telemetry and no throttle pressure the
+#: governor simply never fires.
+OS_SWEEP_MECHANISMS = ["blockhammer", "blockhammer-observe"]
+
+
+def os_sweep_jobs(
+    hcfg: HarnessConfig,
+    mixes: list[WorkloadMix],
+    mechanisms: list[str],
+    policies: list[str],
+) -> list[SimJob]:
+    """One job per (mix × mechanism × policy); the ``none`` policy rows
+    double as the no-governor baselines the slowdown column normalizes
+    against, so they are declared whether or not requested."""
+    extract = ("thread_rhli", "governor_actions")
+    jobs = []
+    for mix in mixes:
+        for mechanism in mechanisms:
+            for policy in dict.fromkeys(["none", *policies]):
+                jobs.append(
+                    mix_job(
+                        hcfg,
+                        mix,
+                        mechanism,
+                        extract=extract,
+                        governor=OS_SWEEP_POLICIES[policy],
+                    )
+                )
+    return jobs
+
+
+def os_policy_sweep(
+    hcfg: HarnessConfig,
+    num_mixes: int = 1,
+    mechanisms: list[str] | None = None,
+    policies: list[str] | None = None,
+    workers: int | None = None,
+    cache=None,
+) -> list[dict]:
+    """Compare OS governor policies over attack mixes.
+
+    One row per (mix × mechanism × policy): mean/max benign slowdown
+    relative to the same mechanism *without* a governor (values < 1
+    mean the policy recovered benign performance, the BreakHammer
+    claim), end-of-run attacker RHLI (max over attacker threads and
+    channels; ``None`` for mechanisms without RHLI tracking), attacker
+    memory-request volume, the governor's action counts, and bit-flips.
+
+    Benign slowdown is computed over benign threads that still ran
+    (``ipc > 0``); ``benign_killed`` counts benign threads the
+    governor descheduled — a policy false positive — so a kill-happy
+    policy cannot launder dead benign work out of the headline metric
+    unnoticed.
+    """
+    mechanisms = mechanisms or OS_SWEEP_MECHANISMS
+    policies = list(policies) if policies is not None else list(OS_SWEEP_POLICIES)
+    for policy in policies:
+        require(
+            policy in OS_SWEEP_POLICIES,
+            f"unknown OS policy {policy!r}; known: "
+            f"{', '.join(OS_SWEEP_POLICIES)}",
+        )
+    mixes = attack_mixes(num_mixes)
+    jobs = os_sweep_jobs(hcfg, mixes, mechanisms, policies)
+    results = run_jobs(jobs, workers, cache=cache)
+    rows = []
+    for mix in mixes:
+        attackers = sorted(mix.attacker_threads)
+        benign = [
+            slot
+            for slot in range(len(mix.app_names))
+            if slot not in mix.attacker_threads
+        ]
+        for mechanism in mechanisms:
+            base = results[mix_key(hcfg, mix, mechanism, governor=None)]
+            base_ipc = {slot: base.result.threads[slot].ipc for slot in benign}
+            for policy in policies:
+                spec = OS_SWEEP_POLICIES[policy]
+                outcome = results[mix_key(hcfg, mix, mechanism, governor=spec)]
+                rhli = outcome.extras["thread_rhli"]
+                actions = outcome.extras["governor_actions"]
+                killed = (
+                    {thread for thread, _ in actions["kills"]} if actions else set()
+                )
+                slowdowns = [
+                    base_ipc[slot] / outcome.result.threads[slot].ipc
+                    for slot in benign
+                    if outcome.result.threads[slot].ipc > 0.0
+                ]
+                rows.append(
+                    {
+                        "mix": mix.name,
+                        "mechanism": mechanism,
+                        "policy": policy,
+                        "benign_slowdown_mean": _stat(statistics.mean, slowdowns),
+                        "benign_slowdown_max": _stat(max, slowdowns),
+                        "attacker_rhli": _stat(
+                            max,
+                            (rhli[t] for t in attackers if rhli[t] is not None),
+                        ),
+                        "attacker_requests": sum(
+                            outcome.result.threads[t].mem.accesses
+                            for t in attackers
+                        ),
+                        "governor_epochs": actions["epochs"] if actions else 0,
+                        "kills": len(actions["kills"]) if actions else 0,
+                        "benign_killed": sum(
+                            1 for slot in benign if slot in killed
+                        ),
+                        "migrations": len(actions["migrations"]) if actions else 0,
+                        "quota_updates": (
+                            actions["quota_updates"] if actions else 0
+                        ),
+                        "bitflips": outcome.bitflips,
+                    }
+                )
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field, replace
 from repro.energy.drampower import EnergyBreakdown
 from repro.harness.cache import CACHEABLE_EXTRAS, ResultCache, resolve_cache
 from repro.harness.runner import HarnessConfig, Runner, RunOutcome
+from repro.os.spec import GovernorSpec
 from repro.sim.stats import SimResult
 from repro.utils.aggregate import merge_fields
 from repro.workloads.mixes import DEFAULT_MIX_THREADS, WorkloadMix
@@ -69,51 +70,63 @@ def _extract_delay_stats(outcome: RunOutcome):
     return merged
 
 
-def _extract_thread_rhli(outcome: RunOutcome) -> list[float]:
+def _extract_thread_rhli(outcome: RunOutcome) -> list[float | None]:
     """Per-thread maximum RHLI at end of run (Section 3.2.1), maxed over
     the per-channel mechanism instances (the paper's RHLI is the worst
-    exposure anywhere in the system)."""
-    return [
-        max(mechanism.thread_max_rhli(thread) for mechanism in outcome.mechanisms)
-        for thread in range(len(outcome.result.threads))
-    ]
+    exposure anywhere in the system).  Threads report ``None`` when no
+    channel's mechanism tracks RHLI (reactive baselines in the governor
+    sweeps) — the BlockHammer-family sweeps always get floats."""
+    out: list[float | None] = []
+    for thread in range(len(outcome.result.threads)):
+        values = [
+            mechanism.thread_max_rhli(thread)
+            for mechanism in outcome.mechanisms
+            if hasattr(mechanism, "thread_max_rhli")
+        ]
+        out.append(max(values) if values else None)
+    return out
 
 
 def _extract_channel_attribution(outcome: RunOutcome) -> list[dict]:
     """Mechanism-side per-channel attribution rows (the BreakHammer
     direction: localize which channel accrues RHLI and throttling).
 
-    One dict per channel: ``thread_rhli`` (per-thread maximum RHLI on
-    that channel's mechanism instance, ``None`` for mechanisms without
-    RHLI tracking), ``blacklisted_acts`` (AttackThrottler events), and
-    the RowBlocker delay counters (``total_acts``/``delayed_acts``/
+    One dict per channel, straight from the mechanism's OS telemetry
+    snapshot (:meth:`~repro.mitigations.base.MitigationMechanism.os_telemetry`
+    — the same duck-typed interface the OS governor samples):
+    ``thread_rhli`` (per-thread maximum RHLI on that channel's
+    mechanism instance, ``None`` for mechanisms without RHLI tracking),
+    ``blacklisted_acts`` (AttackThrottler events), and the RowBlocker
+    delay counters (``total_acts``/``delayed_acts``/
     ``false_positive_acts``; zero for mechanisms without delay stats).
     Controller-side throttle events (blocked injections) live on
     :class:`~repro.sim.stats.ChannelResult` instead.  Aggregation
     contract: counters sum across channels, RHLI maxes — mirrored by
     :func:`_extract_thread_rhli` and asserted by the attribution tests.
     """
-    num_threads = len(outcome.result.threads)
     rows = []
     for channel, mechanism in enumerate(outcome.mechanisms):
-        rhli = None
-        if hasattr(mechanism, "thread_max_rhli"):
-            rhli = [mechanism.thread_max_rhli(t) for t in range(num_threads)]
-        throttler = getattr(mechanism, "throttler", None)
-        stats = mechanism.delay_stats() if hasattr(mechanism, "delay_stats") else None
+        telemetry = mechanism.os_telemetry()
         rows.append(
             {
                 "channel": channel,
-                "thread_rhli": rhli,
-                "blacklisted_acts": getattr(throttler, "blacklisted_acts_total", 0),
-                "total_acts": stats.total_acts if stats is not None else 0,
-                "delayed_acts": stats.delayed_acts if stats is not None else 0,
-                "false_positive_acts": (
-                    stats.false_positive_acts if stats is not None else 0
-                ),
+                "thread_rhli": telemetry.thread_rhli,
+                "blacklisted_acts": telemetry.blacklisted_acts,
+                "total_acts": telemetry.total_acts,
+                "delayed_acts": telemetry.delayed_acts,
+                "false_positive_acts": telemetry.false_positive_acts,
             }
         )
     return rows
+
+
+def _extract_governor_actions(outcome: RunOutcome) -> dict | None:
+    """The OS governor's action record (``None`` for ungoverned runs):
+    review-epoch count, kill/migration logs, and quota-scale state —
+    plain lists of scalars so the result cache round-trips it exactly."""
+    if outcome.governor is None:
+        return None
+    return outcome.governor.actions_summary()
 
 
 #: Named, picklable-result extractors applied to the finished run
@@ -122,6 +135,7 @@ EXTRACTORS = {
     "delay_stats": _extract_delay_stats,
     "thread_rhli": _extract_thread_rhli,
     "channel_attribution": _extract_channel_attribution,
+    "governor_actions": _extract_governor_actions,
 }
 
 # Every extractor must have a cache codec, or jobs requesting it would
@@ -163,6 +177,10 @@ class SimJob:
     pinned: int | None = None
     threads: int = DEFAULT_MIX_THREADS
     mix: WorkloadMix | None = None
+    #: OS governor configuration for this run (None = ungoverned); a
+    #: frozen spec rather than a live Governor so the job stays
+    #: picklable and the cache can key on its repr.
+    governor: GovernorSpec | None = None
     extract: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -172,6 +190,8 @@ class SimJob:
             raise ValueError("single jobs need an app name")
         if self.kind == "mix" and self.mix is None:
             raise ValueError("mix jobs need a WorkloadMix")
+        if self.kind == "single" and self.governor is not None:
+            raise ValueError("governors apply to mix jobs only")
         for name in self.extract:
             if name not in EXTRACTORS:
                 raise ValueError(f"unknown extractor {name!r}")
@@ -233,7 +253,7 @@ def execute_job(job: SimJob) -> JobResult:
             threads=job.threads,
         )
     else:
-        outcome = runner.run_mix(job.mix, job.mechanism)
+        outcome = runner.run_mix(job.mix, job.mechanism, governor=job.governor)
     extras = {name: EXTRACTORS[name](outcome) for name in job.extract}
     return JobResult(
         key=job.key,
@@ -378,13 +398,19 @@ def single_key(
     return ("single", hcfg, app, slot, mechanism, pinned, threads)
 
 
-def mix_key(hcfg: HarnessConfig, mix: WorkloadMix, mechanism: str) -> JobKey:
+def mix_key(
+    hcfg: HarnessConfig,
+    mix: WorkloadMix,
+    mechanism: str,
+    governor: GovernorSpec | None = None,
+) -> JobKey:
     """Key for a multiprogrammed mix under a mechanism.
 
     Covers every field that defines the simulation — ``has_attack``
     changes core parameters and completion targets, ``attack_seed``
-    selects the attack trace, and ``pinned_channels`` the channel
-    layout, so mixes differing only there must not share a key.
+    selects the attack trace, ``pinned_channels`` the channel layout,
+    and ``governor`` the OS policy above the memory system — so mixes
+    differing only there must not share a key.
     """
     return (
         "mix",
@@ -395,6 +421,7 @@ def mix_key(hcfg: HarnessConfig, mix: WorkloadMix, mechanism: str) -> JobKey:
         mix.attack_seed,
         mix.pinned_channels,
         mechanism,
+        governor,
     )
 
 
@@ -425,12 +452,14 @@ def mix_job(
     mix: WorkloadMix,
     mechanism: str = "none",
     extract: tuple[str, ...] = (),
+    governor: GovernorSpec | None = None,
 ) -> SimJob:
     return SimJob(
-        key=mix_key(hcfg, mix, mechanism),
+        key=mix_key(hcfg, mix, mechanism, governor),
         hcfg=hcfg,
         kind="mix",
         mechanism=mechanism,
         mix=mix,
+        governor=governor,
         extract=extract,
     )

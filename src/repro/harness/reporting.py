@@ -73,6 +73,50 @@ def format_channel_summary(summary: list[dict]) -> str:
     )
 
 
+def format_os_policy(rows: list[dict]) -> str:
+    """The OS governor policy-comparison table (one row per mix ×
+    mechanism × policy, from
+    :func:`repro.harness.experiments.os_policy_sweep`).  Benign
+    slowdowns are relative to the same mechanism without a governor
+    (< 1 = the policy recovered benign performance); attacker RHLI is
+    ``-`` for mechanisms without RHLI tracking."""
+    return format_table(
+        [
+            "mix",
+            "mechanism",
+            "policy",
+            "ben slow",
+            "ben slow max",
+            "atk RHLI",
+            "atk reqs",
+            "epochs",
+            "kills",
+            "ben killed",
+            "migr",
+            "quota upd",
+            "flips",
+        ],
+        [
+            [
+                r["mix"],
+                r["mechanism"],
+                r["policy"],
+                round_or_none(r["benign_slowdown_mean"], 3),
+                round_or_none(r["benign_slowdown_max"], 3),
+                round_or_none(r["attacker_rhli"], 3),
+                r["attacker_requests"],
+                r["governor_epochs"],
+                r["kills"],
+                r["benign_killed"],
+                r["migrations"],
+                r["quota_updates"],
+                r["bitflips"],
+            ]
+            for r in rows
+        ],
+    )
+
+
 def format_attribution(attribution: list[dict]) -> str:
     """The per-channel attribution table (one row per mix × mechanism ×
     channel).  RHLI and slowdown cells are ``-`` where the statistic has

@@ -23,6 +23,8 @@ from repro.dram.spec import DDR4_2400, DramSpec, scaled_threshold
 from repro.energy.drampower import EnergyBreakdown, EnergyModel
 from repro.mitigations.base import AdjacencyOracle, MitigationMechanism
 from repro.mitigations.registry import build_mitigation
+from repro.os.governor import Governor
+from repro.os.spec import GovernorSpec, build_governor
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
 from repro.sim.system import System
@@ -172,6 +174,9 @@ class RunOutcome:
     #: Per-channel DRAM command traces, only when the runner was built
     #: with ``capture_commands`` (differential scheduler testing).
     command_logs: tuple[list, ...] | None = None
+    #: The OS governor this run executed under (None = no governor); the
+    #: ``governor_actions`` extractor reads its action log.
+    governor: Governor | None = None
 
     @property
     def mechanism(self) -> MitigationMechanism:
@@ -213,6 +218,7 @@ class Runner:
         mechanism_name: str,
         adjacency_override: AdjacencyOracle | None = None,
         core_params_per_thread: list | None = None,
+        governor: GovernorSpec | None = None,
         **mechanism_kwargs,
     ) -> System:
         kwargs = dict(self.hcfg.mechanism_kwargs(mechanism_name))
@@ -225,6 +231,8 @@ class Runner:
             policy=self.policy,
             adjacency_override=adjacency_override,
             core_params_per_thread=core_params_per_thread,
+            # One fresh governor per system: policies carry run state.
+            governor=build_governor(governor),
         )
         return system
 
@@ -235,14 +243,17 @@ class Runner:
         targets: int | list[int | None] | None = None,
         adjacency_override: AdjacencyOracle | None = None,
         core_params_per_thread: list | None = None,
+        governor: GovernorSpec | None = None,
         **mechanism_kwargs,
     ) -> RunOutcome:
-        """Run arbitrary traces under a mechanism."""
+        """Run arbitrary traces under a mechanism (optionally with an
+        OS governor described by ``governor``)."""
         system = self._build_system(
             traces,
             mechanism_name,
             adjacency_override,
             core_params_per_thread=core_params_per_thread,
+            governor=governor,
             **mechanism_kwargs,
         )
         logs: tuple[list, ...] | None = None
@@ -263,6 +274,7 @@ class Runner:
             energy=self.energy_model.energy_of(result),
             mechanisms=tuple(system.mitigations),
             command_logs=logs,
+            governor=system.governor,
         )
 
     # ------------------------------------------------------------------
@@ -295,6 +307,7 @@ class Runner:
         mix: WorkloadMix,
         mechanism_name: str = "none",
         adjacency_override: AdjacencyOracle | None = None,
+        governor: GovernorSpec | None = None,
         **mechanism_kwargs,
     ) -> RunOutcome:
         """Multiprogrammed run (Figures 5/6).
@@ -325,6 +338,7 @@ class Runner:
             targets,
             adjacency_override,
             core_params_per_thread=per_thread,
+            governor=governor,
             **mechanism_kwargs,
         )
 

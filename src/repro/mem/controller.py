@@ -64,6 +64,12 @@ class ThreadMemStats:
     read_latency_sum: float = 0.0
     read_latency_count: int = 0
     blocked_injections: int = 0
+    #: The subset of ``blocked_injections`` rejected by the mitigation's
+    #: in-flight quotas (AttackThrottler) rather than by queue capacity.
+    #: This is the throttle-pressure signal OS telemetry keys on: plain
+    #: queue-full backpressure hits benign threads too and must never
+    #: read as attack suspicion.
+    quota_blocked_injections: int = 0
 
     @property
     def accesses(self) -> int:
@@ -145,26 +151,38 @@ class MemoryController:
         Enforces queue capacity plus the mitigation's in-flight quotas,
         both per <thread, bank> and per thread (AttackThrottler).
         """
+        return self._admission(request) is None
+
+    def _admission(self, request: Request) -> str | None:
+        """``None`` to accept, else the rejection reason: ``"queue"``
+        (capacity backpressure) or ``"quota"`` (mitigation throttling —
+        counted separately for OS telemetry)."""
         queue = self.write_queue if request.is_write else self.read_queue
         if queue.full:
-            return False
+            return "queue"
         total_quota = self.mitigation.max_inflight_total(request.thread)
         if total_quota is not None and (
             self._inflight_per_thread.get(request.thread, 0) >= total_quota
         ):
-            return False
+            return "quota"
         quota = self.mitigation.max_inflight(
             request.thread, request.address.rank, request.address.bank
         )
         if quota is None:
-            return True
+            return None
         key = (request.thread, request.address.rank, request.address.bank)
-        return self._inflight.get(key, 0) < quota
+        if self._inflight.get(key, 0) < quota:
+            return None
+        return "quota"
 
     def enqueue(self, request: Request, now: float) -> bool:
         """Insert a request; returns False (and counts it) if rejected."""
-        if not self.can_accept(request):
-            self.thread_stats[request.thread].blocked_injections += 1
+        reason = self._admission(request)
+        if reason is not None:
+            stats = self.thread_stats[request.thread]
+            stats.blocked_injections += 1
+            if reason == "quota":
+                stats.quota_blocked_injections += 1
             return False
         queue = self.write_queue if request.is_write else self.read_queue
         queue.push(request)

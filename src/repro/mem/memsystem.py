@@ -29,6 +29,7 @@ from repro.mem.request import Request
 from repro.mem.scheduler import SchedulingPolicy
 from repro.mitigations.base import (
     AdjacencyOracle,
+    MechanismTelemetry,
     MitigationContext,
     MitigationMechanism,
 )
@@ -205,6 +206,30 @@ class MemorySystem:
 
     def total_commands_issued(self) -> int:
         return sum(controller.commands_issued for controller in self.controllers)
+
+    # ------------------------------------------------------------------
+    # OS-facing telemetry (sampled by the governor, repro.os).
+    # ------------------------------------------------------------------
+    def mechanism_telemetry(self) -> list[MechanismTelemetry]:
+        """One per-channel mechanism telemetry snapshot per channel
+        (duck-typed: mechanisms without RHLI report ``None``)."""
+        return [mechanism.os_telemetry() for mechanism in self.mitigations]
+
+    def os_telemetry(self, now: float, epoch: int = 0):
+        """The cross-channel :class:`~repro.os.telemetry.TelemetrySample`
+        an OS governor reviews: per-thread RHLI maxed over channels with
+        the per-channel split preserved, controller-side blocked
+        injections and accepted-request counts summed over channels,
+        and the mechanism event counters summed."""
+        from repro.os.telemetry import sample_telemetry
+
+        return sample_telemetry(
+            self.mitigations,
+            self.controllers[0].num_threads,
+            now,
+            epoch,
+            thread_stats=self.merged_thread_stats(),
+        )
 
     def channel_results(self) -> list[ChannelResult]:
         """One per-channel statistics row per channel."""

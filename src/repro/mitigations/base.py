@@ -20,6 +20,15 @@ mechanism through four hooks:
 
 Mechanisms receive a :class:`MitigationContext` at attach time with the
 DRAM spec, thread count, a deterministic RNG, and the adjacency oracle.
+
+Mechanisms additionally expose read-only **OS telemetry**
+(:meth:`MitigationMechanism.os_telemetry`): the per-thread signals an
+operating-system governor (:mod:`repro.os`) samples each scheduling
+epoch — RHLI where the mechanism tracks it (Section 3.2.3), plus
+blacklist/delay event counters.  The base implementation duck-types on
+the attributes a mechanism actually has (mirroring the harness's
+``channel_attribution`` extractor), so reactive baselines degrade
+gracefully to "no signal" instead of every mechanism having to opt in.
 """
 
 from __future__ import annotations
@@ -55,6 +64,27 @@ class MitigationContext:
     #: is deployed per channel (Section 3); the MemorySystem builds one
     #: mechanism instance per channel and never shares state across them.
     channel: int = 0
+
+
+@dataclass
+class MechanismTelemetry:
+    """One mechanism instance's OS-facing telemetry snapshot.
+
+    ``thread_rhli`` is ``None`` for mechanisms without RHLI tracking
+    (every baseline except the BlockHammer family); the event counters
+    are zero where the mechanism has no corresponding hardware.  An OS
+    governor aggregates snapshots across channels with the standing
+    contract: counters sum, RHLI maxes.
+    """
+
+    #: Per-thread maximum RHLI on this instance (None = not tracked).
+    thread_rhli: list[float] | None
+    #: AttackThrottler events: ACTs to blacklisted rows.
+    blacklisted_acts: int = 0
+    #: RowBlocker delay counters (zero without delay statistics).
+    total_acts: int = 0
+    delayed_acts: int = 0
+    false_positive_acts: int = 0
 
 
 class MitigationMechanism:
@@ -153,6 +183,38 @@ class MitigationMechanism:
     def refresh_interval_scale(self) -> float:
         """Multiplier on tREFI (1.0 = standard refresh rate)."""
         return 1.0
+
+    # ------------------------------------------------------------------
+    # OS-facing telemetry (Section 3.2.3: the interface BlockHammer can
+    # expose to system software; generalized to every mechanism).
+    # ------------------------------------------------------------------
+    def os_telemetry(self) -> MechanismTelemetry:
+        """Snapshot this instance's OS-facing signals.
+
+        Duck-typed on what the mechanism actually tracks —
+        ``thread_max_rhli`` (RHLI), ``throttler`` (blacklist events),
+        ``delay_stats`` (RowBlocker delay counters) — so mechanisms
+        without those report ``None``/zero rather than raising.  The
+        cadence contract matches ``on_time_advance``: counters are
+        cumulative over the run, RHLI reflects the current epoch.
+        """
+        rhli = None
+        if hasattr(self, "thread_max_rhli"):
+            rhli = [
+                self.thread_max_rhli(thread)
+                for thread in range(self.context.num_threads)
+            ]
+        throttler = getattr(self, "throttler", None)
+        stats = self.delay_stats() if hasattr(self, "delay_stats") else None
+        return MechanismTelemetry(
+            thread_rhli=rhli,
+            blacklisted_acts=getattr(throttler, "blacklisted_acts_total", 0),
+            total_acts=stats.total_acts if stats is not None else 0,
+            delayed_acts=stats.delayed_acts if stats is not None else 0,
+            false_positive_acts=(
+                stats.false_positive_acts if stats is not None else 0
+            ),
+        )
 
 
 class NoMitigation(MitigationMechanism):

@@ -49,11 +49,18 @@ class System:
         adjacency_override: AdjacencyOracle | None = None,
         core_params_per_thread: list | None = None,
         mitigation_factory: MitigationFactory | None = None,
+        governor=None,
     ) -> None:
         """``mitigation_factory`` builds one fresh mechanism per channel
         (required for multi-channel systems, where mitigation state must
         not be shared).  Passing a single ``mitigation`` instance remains
-        supported for single-channel systems only."""
+        supported for single-channel systems only.
+
+        ``governor`` attaches an OS governor
+        (:class:`~repro.os.governor.Governor`): the event loop reviews
+        it once per governor epoch and its policies act on the cores
+        (kill / quota / channel migration).  ``None`` (default) costs
+        nothing — no events are scheduled and no hooks fire."""
         self.config = config
         self.rng = DeterministicRng(config.seed)
         spec = config.effective_spec()
@@ -122,6 +129,13 @@ class System:
         self._required = [False] * len(self.cores)
         self._finished_required = 0
         self._total_required = 0
+        # OS governor (repro.os): reviewed from the event loop; killed
+        # threads must not gate completion, tracked here so a warmup
+        # reset re-marks them finished.
+        self.governor = governor
+        self._descheduled = [False] * len(self.cores)
+        if governor is not None:
+            governor.attach(self)
 
     # ------------------------------------------------------------------
     # Event scheduling helpers.
@@ -182,6 +196,30 @@ class System:
             self._finished_required += 1
 
     # ------------------------------------------------------------------
+    # OS governor plumbing.
+    # ------------------------------------------------------------------
+    def _fire_governor(self, now: float) -> None:
+        next_review = self.governor.advance(now)
+        # Reschedule only while the simulation is otherwise alive: when
+        # the event queue is empty and no channel has work, everything
+        # has drained and a recurring review would keep the loop spinning
+        # forever on governor events alone.
+        if not self._events.empty or self.memsys.busy():
+            self._events.push(next_review, self._fire_governor)
+
+    def deschedule_thread(self, index: int, now: float) -> None:
+        """Kill a thread on the governor's behalf: the core issues no
+        further requests and stops gating completion (its measured span
+        ends at the kill timestamp)."""
+        core = self.cores[index]
+        core.deschedule(now)
+        self._descheduled[index] = True
+        if core.finish_time is None:
+            core.finish_time = now
+        if not self._core_finished[index]:
+            self._note_finished(index)
+
+    # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
     def run(
@@ -221,6 +259,8 @@ class System:
             self._schedule_core(index, 0.0)
         for channel in range(self.memsys.num_channels):
             self._schedule_ctrl(channel, 0.0)
+        if self.governor is not None:
+            self._events.push(self.governor.start(0.0), self._fire_governor)
 
         measure_start = warmup_ns if warming else 0.0
         events = self._events
@@ -288,6 +328,12 @@ class System:
         self._core_finished = [False] * len(self.cores)
         self._finished_required = 0
         self.memsys.reset_measurement(now)
+        # Threads the governor killed during warmup stay dead: re-stamp
+        # them finished so they never gate measured-phase completion.
+        for index, dead in enumerate(self._descheduled):
+            if dead:
+                self.cores[index].finish_time = now
+                self._note_finished(index)
 
     # ------------------------------------------------------------------
     def _collect(self, end_time: float, measure_start: float = 0.0) -> SimResult:

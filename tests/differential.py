@@ -26,8 +26,13 @@ everything physical.
 Scenarios are deterministic functions of (scenario, seed): ``benign``
 is three Table 8 applications, ``attack`` is one double-sided hammer
 plus one benign victim, ``mixed`` is one hammer plus three benign
-threads.  Seeds vary both the application selection and every RNG
-stream in the simulation.
+threads, and ``governed`` is an attack mix running under an OS
+governor (``blockhammer-os``'s mechanism-coupled kill governor on even
+seeds, a system-level kill governor on odd seeds, plus a system-level
+migrate/kill governor above both) — governor actions (deschedules,
+channel re-pins) reshape the command stream mid-run and must do so
+identically under both scheduler policies.  Seeds vary both the
+application selection and every RNG stream in the simulation.
 """
 
 from __future__ import annotations
@@ -37,21 +42,58 @@ from dataclasses import dataclass
 
 from repro.harness.runner import HarnessConfig, Runner
 from repro.mem.scheduler import FrFcfsPolicy, ReferenceFrFcfsPolicy, SchedulingPolicy
+from repro.os.spec import GovernorSpec
 from repro.workloads.mixes import WorkloadMix, attack_mixes, benign_mixes
 
-SCENARIOS = ("benign", "attack", "mixed")
+SCENARIOS = ("benign", "attack", "mixed", "governed")
 
 #: Mechanism exercised per scenario, rotated by seed so the sweep covers
 #: proactive throttling (blockhammer — the mechanism whose verdicts the
 #: scheduler caches), the unprotected baseline, reactive refreshers
-#: (victim-refresh / PRE interleaving in the controller step), and a
+#: (victim-refresh / PRE interleaving in the controller step), a
 #: blocker that declares *no* verdict stability (naive-throttle,
 #: ``act_block_stable = -inf``) — the scheduler's uncacheable per-step
-#: re-examination path.
+#: re-examination path — and the governor-carrying ``blockhammer-os``.
 _MECHANISMS = {
     "benign": ("blockhammer", "none"),
     "attack": ("blockhammer", "naive-throttle"),
     "mixed": ("graphene", "para"),
+    "governed": ("blockhammer-os", "blockhammer"),
+}
+
+#: System-level governor per scenario (None = ungoverned), rotated by
+#: seed: migrate exercises mid-run channel re-pinning; quota+kill
+#: exercises mid-run MLP-quota rescaling (changed injection pacing
+#: with no kill or re-pin — its own scheduler-perturbation class)
+#: followed by descheduling.  Thresholds are any-RHLI (benign threads
+#: sit at exactly 0), so actions fire within the short runs.
+_GOVERNORS: dict[str, tuple[GovernorSpec | None, GovernorSpec | None]] = {
+    "governed": (
+        GovernorSpec(
+            policy="migrate", epoch_ns=10_000.0, threshold=0.01, patience_epochs=1
+        ),
+        GovernorSpec(
+            policy="quota+kill", epoch_ns=10_000.0, threshold=0.01, patience_epochs=2
+        ),
+    ),
+}
+
+#: Mechanism construction overrides per scenario (worker-side kwargs):
+#: the governed scenario runs at scale 512 where ``blockhammer-os``'s
+#: default review interval (half a CBF lifetime) exceeds the whole run,
+#: so its embedded governor polls every 10 us like the system one.
+_MECHANISM_KWARGS = {
+    "governed": {
+        "blockhammer-os": {"review_interval_ns": 10_000.0, "kill_rhli": 0.02},
+    },
+}
+
+#: Per-scenario run-shape overrides.  The governed scenario needs the
+#: attacker blacklisted *within* the run for governor actions to fire:
+#: at scale 512 that happens inside a 30 us warmup (reviews keep
+#: running during warmup, as a real OS would keep polling).
+_SCENARIO_KWARGS = {
+    "governed": {"scale": 512.0, "instructions": 2000, "warmup_ns": 30_000.0},
 }
 
 
@@ -63,11 +105,19 @@ def scenario_mix(scenario: str, seed: int) -> WorkloadMix:
         return attack_mixes(1, threads=2, master_seed=2021 + seed)[0]
     if scenario == "mixed":
         return attack_mixes(1, threads=4, master_seed=7000 + seed)[0]
+    if scenario == "governed":
+        return attack_mixes(1, threads=3, master_seed=5000 + seed)[0]
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
 def scenario_mechanism(scenario: str, seed: int) -> str:
     return _MECHANISMS[scenario][seed % 2]
+
+
+def scenario_governor(scenario: str, seed: int) -> GovernorSpec | None:
+    """The system-level governor for (scenario, seed), if any."""
+    governors = _GOVERNORS.get(scenario)
+    return governors[seed % 2] if governors else None
 
 
 @dataclass
@@ -81,6 +131,10 @@ class DifferentialRun:
     #: module docstring for why that one field is loop mechanics).
     result: dict
     energy: dict
+    #: The system-level governor's action record (None = ungoverned):
+    #: kill/migration logs carry exact timestamps, so this pins the
+    #: governor's behaviour bit-for-bit across policies.
+    governor_actions: dict | None = None
 
 
 def run_policy(
@@ -90,18 +144,23 @@ def run_policy(
     policy: SchedulingPolicy,
     instructions: int = 2500,
     warmup_ns: float = 2000.0,
+    scale: float = 128.0,
 ) -> DifferentialRun:
     """Simulate (scenario, seed, channels) under ``policy``."""
     hcfg = HarnessConfig(
-        scale=128.0,
+        scale=scale,
         instructions_per_thread=instructions,
         warmup_ns=warmup_ns,
         num_channels=channels,
         seed=1 + seed,
     )
     runner = Runner(hcfg, policy=policy, capture_commands=True)
+    mechanism = scenario_mechanism(scenario, seed)
     outcome = runner.run_mix(
-        scenario_mix(scenario, seed), scenario_mechanism(scenario, seed)
+        scenario_mix(scenario, seed),
+        mechanism,
+        governor=scenario_governor(scenario, seed),
+        **_MECHANISM_KWARGS.get(scenario, {}).get(mechanism, {}),
     )
     result = dataclasses.asdict(outcome.result)
     result.pop("events_processed")
@@ -110,15 +169,22 @@ def run_policy(
         commands=outcome.command_logs,
         result=result,
         energy=dataclasses.asdict(outcome.energy),
+        governor_actions=(
+            outcome.governor.actions_summary()
+            if outcome.governor is not None
+            else None
+        ),
     )
 
 
 def run_pair(
     scenario: str, seed: int, channels: int, **kwargs
 ) -> tuple[DifferentialRun, DifferentialRun]:
-    """(fast, reference) runs of the same simulation."""
-    fast = run_policy(scenario, seed, channels, FrFcfsPolicy(), **kwargs)
-    ref = run_policy(scenario, seed, channels, ReferenceFrFcfsPolicy(), **kwargs)
+    """(fast, reference) runs of the same simulation, with the
+    scenario's run-shape defaults applied (explicit kwargs win)."""
+    merged = {**_SCENARIO_KWARGS.get(scenario, {}), **kwargs}
+    fast = run_policy(scenario, seed, channels, FrFcfsPolicy(), **merged)
+    ref = run_policy(scenario, seed, channels, ReferenceFrFcfsPolicy(), **merged)
     return fast, ref
 
 
@@ -149,3 +215,4 @@ def assert_equivalent(fast: DifferentialRun, ref: DifferentialRun) -> None:
         )
     assert fast.result == ref.result
     assert fast.energy == ref.energy
+    assert fast.governor_actions == ref.governor_actions

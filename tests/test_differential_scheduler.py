@@ -9,10 +9,15 @@ energy (see ``tests/differential.py`` for the harness and for why
 ``events_processed`` alone is excluded).
 
 The mechanism rotates with the scenario/seed (BlockHammer, the
-unprotected baseline, Graphene, PARA, naive-throttle) so proactive
-verdict caching, reactive victim refreshes, the plain timing-only
-path, and the no-stability-declared per-step re-query path are all
-differentially covered.
+unprotected baseline, Graphene, PARA, naive-throttle, blockhammer-os)
+so proactive verdict caching, reactive victim refreshes, the plain
+timing-only path, and the no-stability-declared per-step re-query path
+are all differentially covered.  The ``governed`` scenario additionally
+runs an OS governor above the memory system (mechanism-coupled kill in
+``blockhammer-os`` on even seeds, plus a system-level migrate/kill
+governor): governor actions reshape the command stream mid-run
+(deschedules, channel re-pins) and must preserve fast == reference
+bit-identity, action log included.
 
 The ``perf_smoke``-marked smoke is the seconds-fast subset wired into
 ``scripts/perf_smoke.sh`` (tier-1).
@@ -58,6 +63,30 @@ def test_scenarios_are_deterministic_workloads():
     assert scenario_mix("benign", 0) != scenario_mix("benign", 1)
     assert scenario_mix("attack", 0).has_attack
     assert not scenario_mix("benign", 0).has_attack
+    assert scenario_mix("governed", 0).has_attack
+
+
+def test_governed_scenario_actually_acts():
+    """The governed scenario is only real coverage if governor actions
+    fire *inside* the differential runs: the system-level governor must
+    log actions (identically under both policies — also asserted for
+    every pair by ``assert_equivalent``).  Seed 0 covers channel
+    migration above the mechanism-coupled ``blockhammer-os`` governor;
+    seed 1 covers mid-run MLP-quota rescaling *and* a system-level
+    deschedule (quota+kill)."""
+    fast, ref = run_pair("governed", 0, 2)
+    actions = fast.governor_actions
+    assert actions is not None and actions["epochs"] > 0
+    assert actions["migrations"], "migrate governor never fired"
+    assert fast.governor_actions == ref.governor_actions
+    # Even seed -> blockhammer-os: the mechanism-coupled deployment.
+    assert fast.result["mitigation"] == "blockhammer-os"
+
+    fast, ref = run_pair("governed", 1, 2)
+    actions = fast.governor_actions
+    assert actions["quota_updates"] > 0, "quota governor never fired"
+    assert actions["kills"], "system-level kill never fired"
+    assert fast.governor_actions == ref.governor_actions
 
 
 @pytest.mark.perf_smoke
