@@ -1,0 +1,17 @@
+#!/bin/sh
+# Chaos smoke: deterministic fault injection through the fault-tolerant
+# sweep executor.  A worker crash (os._exit inside the child) breaks
+# the process pool and the sweep rebuilds it, replays the victim, and
+# converges to rows bit-identical to a fault-free run; an injected hang
+# trips the per-job wall-clock timeout (kill, retry, converge — or a
+# structured JobFailure once the attempt budget is spent); a corrupted
+# cache entry is quarantined to *.corrupt and exactly that job
+# re-simulates; an interrupted sweep resumes from its incremental
+# checkpoints, executing only the jobs that never finished.  Pool-based
+# tests self-skip where process pools cannot spawn.  Runs in seconds;
+# part of tier-1 via the chaos_smoke marker.
+#
+# Usage: scripts/chaos_smoke.sh [extra pytest args]
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -q -m chaos_smoke "$@"

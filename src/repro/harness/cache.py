@@ -171,6 +171,7 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def _path(self, job) -> pathlib.Path:
@@ -184,13 +185,25 @@ class ResultCache:
 
         A hit requires the fingerprint and key to match exactly and the
         stored extras to cover everything ``job.extract`` requests.
+        Corrupt entries — truncated or garbage JSON, or JSON whose
+        decode blows up — are **quarantined** (renamed to ``*.corrupt``)
+        and counted in :attr:`corrupt`, so they stop being re-parsed on
+        every run and the job cleanly re-simulates.
         """
         from repro.harness.parallel import JobResult
 
         path = self._path(job)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            self._quarantine(path)
             self.misses += 1
             return None
         if (
@@ -201,23 +214,43 @@ class ResultCache:
         ):
             self.misses += 1
             return None
-        extras = {
-            name: _EXTRA_CODECS[name][1](value)
-            for name, value in data["extras"].items()
-            if name in _EXTRA_CODECS
-        }
+        try:
+            extras = {
+                name: _EXTRA_CODECS[name][1](value)
+                for name, value in data["extras"].items()
+                if name in _EXTRA_CODECS
+            }
+            result = JobResult(
+                key=job.key,
+                mechanism_name=data["mechanism_name"],
+                result=_decode_result(data["result"]),
+                energy=EnergyBreakdown(**data["energy"]),
+                extras=extras,
+            )
+        except (KeyError, TypeError, ValueError):
+            # Schema-valid envelope around a mangled payload (e.g. a
+            # partially-overwritten entry): same treatment as bad JSON.
+            self._quarantine(path)
+            self.misses += 1
+            return None
         self.hits += 1
         try:
             os.utime(path)  # LRU touch: a hit is a use
         except OSError:
             pass
-        return JobResult(
-            key=job.key,
-            mechanism_name=data["mechanism_name"],
-            result=_decode_result(data["result"]),
-            energy=EnergyBreakdown(**data["energy"]),
-            extras=extras,
-        )
+        return result
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry out of the lookup namespace (best
+        effort: a concurrent deletion just means it is already gone)."""
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, job, result) -> None:
         """Store a finished job (atomic write; unknown extras are

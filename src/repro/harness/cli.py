@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
 
 from repro.core.config import BlockHammerConfig
-from repro.harness import experiments
+from repro.harness import experiments, parallel
 from repro.harness.cache import (
     CACHE_ENV,
     DEFAULT_CACHE_DIR,
@@ -32,8 +33,15 @@ from repro.harness.reporting import (
     format_attribution,
     format_channel_summary,
     format_os_policy,
+    format_sweep_report,
     format_table,
     round_or_none,
+)
+from repro.harness.retry import (
+    JOB_TIMEOUT_ENV,
+    ON_ERROR_ENV,
+    ON_ERROR_MODES,
+    RETRIES_ENV,
 )
 from repro.harness.runner import HarnessConfig
 from repro.hwcost.mechanisms import table4_rows
@@ -124,7 +132,12 @@ def cmd_fig4(args) -> str:
     return format_table(
         ["category", "mechanism", "norm time", "norm energy"],
         [
-            [m["category"], m["mechanism"], round(m["norm_time"], 4), round(m["norm_energy"], 4)]
+            [
+                m["category"],
+                m["mechanism"],
+                round_or_none(m["norm_time"], 4),
+                round_or_none(m["norm_energy"], 4),
+            ]
             for m in means
         ],
     )
@@ -141,10 +154,10 @@ def cmd_fig5(args) -> str:
             [
                 s["scenario"],
                 s["mechanism"],
-                round(s["norm_ws_mean"], 3),
-                round(s["norm_hs_mean"], 3),
-                round(s["norm_ms_mean"], 3),
-                round(s["norm_energy_mean"], 3),
+                round_or_none(s["norm_ws_mean"], 3),
+                round_or_none(s["norm_hs_mean"], 3),
+                round_or_none(s["norm_ms_mean"], 3),
+                round_or_none(s["norm_energy_mean"], 3),
                 s["bitflips"],
             ]
             for s in summary
@@ -226,9 +239,9 @@ def cmd_table8(args) -> str:
                 r["app"],
                 r["category"],
                 r["target_mpki"],
-                round(r["measured_mpki"], 2),
+                round_or_none(r["measured_mpki"], 2),
                 r["target_rbcpki"],
-                round(r["measured_rbcpki"], 2),
+                round_or_none(r["measured_rbcpki"], 2),
             ]
             for r in rows
         ],
@@ -333,13 +346,75 @@ def build_parser() -> argparse.ArgumentParser:
         "the cap are evicted after each store (implies --cache; also "
         "REPRO_CACHE_MAX_ENTRIES)",
     )
+    parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=None,
+        help="retries per job after the first attempt, with bounded "
+        "exponential backoff; retried jobs are bit-identical "
+        "(default: REPRO_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout on the pool path: the worker is "
+        "killed and the job re-enters the retry ladder "
+        "(default: REPRO_JOB_TIMEOUT or none)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=ON_ERROR_MODES,
+        default=None,
+        help="disposition for jobs that exhaust their retries: 'raise' "
+        "aborts the sweep (completed jobs stay checkpointed in the "
+        "cache), 'skip' renders them as '-' rows "
+        "(default: REPRO_ON_ERROR or raise)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream one line per completed/cached/failed job to stderr "
+        "and print the sweep report (jobs, retries, timeouts, crashes, "
+        "failures) when the command finishes (also REPRO_PROGRESS=1)",
+    )
     return parser
+
+
+def _apply_exec_env(args) -> None:
+    """Thread the execution-policy flags to the drivers via their
+    ``REPRO_*`` environment variables (one grammar — the same one
+    ``resolve_policy`` reads — so explicit flags win over the inherited
+    environment without widening every driver signature)."""
+    if args.retries is not None:
+        os.environ[RETRIES_ENV] = str(args.retries)
+    if args.job_timeout is not None:
+        os.environ[JOB_TIMEOUT_ENV] = str(args.job_timeout)
+    if args.on_error is not None:
+        os.environ[ON_ERROR_ENV] = args.on_error
+    if args.progress:
+        os.environ[parallel.PROGRESS_ENV] = "1"
 
 
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
     return value
 
 
@@ -359,7 +434,12 @@ def _channel_list(text: str) -> list[int]:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_exec_env(args)
     print(_COMMANDS[args.command](args))
+    if args.progress:
+        report = parallel.last_report()
+        if report is not None:
+            print(format_sweep_report(report), file=sys.stderr)
     return 0
 
 

@@ -15,6 +15,13 @@ Every sweep driver follows the same three-stage shape on top of
 3. **assemble rows** — walk the declared structure and build rows from
    the keyed results, so row order and content are independent of how
    (and in what order) the jobs ran.
+
+Under ``run_jobs(..., on_error="skip")`` the result mapping may carry
+structured :class:`~repro.harness.parallel.JobFailure` records for jobs
+that exhausted the retry ladder.  Every assembly stage tolerates them:
+rows whose inputs failed keep their position but carry ``None`` metric
+values, which the reporting layer renders as ``-`` — a sweep with a
+dead corner degrades instead of dying.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from dataclasses import dataclass, replace as dataclass_replace
 from repro.harness.parallel import (
     JobResult,
     SimJob,
+    failed,
     mix_job,
     mix_key,
     run_jobs,
@@ -84,10 +92,23 @@ def fig4_singlecore(
     for app in apps:
         profile = next(p for p in TABLE8_PROFILES if p.name == app)
         base = results[single_key(hcfg, app, 0, "none")]
-        base_time = base.result.threads[0].finish_time_ns
-        base_energy = base.energy.total_j
+        if not failed(base):
+            base_time = base.result.threads[0].finish_time_ns
+            base_energy = base.energy.total_j
         for mechanism in mechanisms:
             outcome = results[single_key(hcfg, app, 0, mechanism)]
+            if failed(base) or failed(outcome):
+                rows.append(
+                    {
+                        "app": app,
+                        "category": profile.category.value,
+                        "mechanism": mechanism,
+                        "norm_time": None,
+                        "norm_energy": None,
+                        "bitflips": None,
+                    }
+                )
+                continue
             rows.append(
                 {
                     "app": app,
@@ -102,18 +123,22 @@ def fig4_singlecore(
 
 
 def fig4_group_means(rows: list[dict]) -> list[dict]:
-    """Aggregate Figure 4 rows by (category, mechanism)."""
+    """Aggregate Figure 4 rows by (category, mechanism).  Failed rows
+    (``None`` metrics, from ``on_error="skip"``) are excluded from the
+    means and counted in ``failed``."""
     grouped: dict[tuple[str, str], list[dict]] = {}
     for row in rows:
         grouped.setdefault((row["category"], row["mechanism"]), []).append(row)
     out = []
     for (category, mechanism), items in sorted(grouped.items()):
+        ok = [r for r in items if r["norm_time"] is not None]
         out.append(
             {
                 "category": category,
                 "mechanism": mechanism,
-                "norm_time": statistics.mean(r["norm_time"] for r in items),
-                "norm_energy": statistics.mean(r["norm_energy"] for r in items),
+                "norm_time": _stat(statistics.mean, (r["norm_time"] for r in ok)),
+                "norm_energy": _stat(statistics.mean, (r["norm_energy"] for r in ok)),
+                "failed": len(items) - len(ok),
             }
         )
     return out
@@ -124,16 +149,18 @@ def fig4_group_means(rows: list[dict]) -> list[dict]:
 # ----------------------------------------------------------------------
 @dataclass
 class MixOutcomeRow:
-    """One (mix, mechanism) multiprogrammed data point."""
+    """One (mix, mechanism) multiprogrammed data point.  Metric fields
+    are ``None`` when the point's jobs failed under
+    ``on_error="skip"`` (rendered as ``-``)."""
 
     mix: str
     scenario: str  # "no-attack" | "attack"
     mechanism: str
-    metrics: MultiprogramMetrics
-    norm: MultiprogramMetrics  # normalized to the baseline system
-    norm_energy: float
-    bitflips: int
-    victim_refreshes: int
+    metrics: MultiprogramMetrics | None
+    norm: MultiprogramMetrics | None  # normalized to the baseline system
+    norm_energy: float | None
+    bitflips: int | None
+    victim_refreshes: int | None
 
 
 def mix_sweep_jobs(
@@ -189,6 +216,24 @@ def _benign_ipc_maps(
     return shared, alone
 
 
+def _mix_inputs_failed(
+    hcfg: HarnessConfig, mix: WorkloadMix, results: dict
+) -> bool:
+    """Whether the shared inputs of a mix's rows — the baseline run or
+    any benign alone-IPC run — are :class:`JobFailure` records."""
+    if failed(results[mix_key(hcfg, mix, "none")]):
+        return True
+    for slot, app in enumerate(mix.app_names):
+        if slot in mix.attacker_threads:
+            continue
+        alone_key = single_key(
+            hcfg, app, slot, "none", mix.pinned_channel(slot), len(mix.app_names)
+        )
+        if failed(results[alone_key]):
+            return True
+    return False
+
+
 def assemble_mix_rows(
     hcfg: HarnessConfig,
     mixes: list[WorkloadMix],
@@ -196,15 +241,37 @@ def assemble_mix_rows(
     scenario: str,
     results: dict,
 ) -> list[MixOutcomeRow]:
-    """Build normalized rows from executed mix-sweep jobs."""
+    """Build normalized rows from executed mix-sweep jobs.
+
+    Rows whose inputs failed (the mechanism run itself, or the shared
+    baseline/alone runs every row of the mix normalizes against) keep
+    their position but carry ``None`` metrics — the ``-`` rows of a
+    degraded sweep.
+    """
     rows = []
     for mix in mixes:
-        base = results[mix_key(hcfg, mix, "none")]
-        shared, alone = _benign_ipc_maps(hcfg, mix, base, results)
-        base_metrics = compute_metrics(shared, alone)
-        base_energy = base.energy.total_j
+        shared_failed = _mix_inputs_failed(hcfg, mix, results)
+        if not shared_failed:
+            base = results[mix_key(hcfg, mix, "none")]
+            shared, alone = _benign_ipc_maps(hcfg, mix, base, results)
+            base_metrics = compute_metrics(shared, alone)
+            base_energy = base.energy.total_j
         for mechanism in mechanisms:
             outcome = results[mix_key(hcfg, mix, mechanism)]
+            if shared_failed or failed(outcome):
+                rows.append(
+                    MixOutcomeRow(
+                        mix=mix.name,
+                        scenario=scenario,
+                        mechanism=mechanism,
+                        metrics=None,
+                        norm=None,
+                        norm_energy=None,
+                        bitflips=None,
+                        victim_refreshes=None,
+                    )
+                )
+                continue
             shared, alone = _benign_ipc_maps(hcfg, mix, outcome, results)
             metrics = compute_metrics(shared, alone)
             rows.append(
@@ -268,26 +335,33 @@ def fig5_multicore(
 
 
 def summarize_mix_rows(rows: list[MixOutcomeRow]) -> list[dict]:
-    """Mean/min/max of normalized metrics by (scenario, mechanism)."""
+    """Mean/min/max of normalized metrics by (scenario, mechanism).
+
+    Failed rows (``None`` metrics) are excluded from every statistic and
+    counted in ``failed``; a group with no surviving rows reports
+    ``None`` throughout.
+    """
     grouped: dict[tuple[str, str], list[MixOutcomeRow]] = {}
     for row in rows:
         grouped.setdefault((row.scenario, row.mechanism), []).append(row)
     out = []
     for (scenario, mechanism), items in sorted(grouped.items()):
-        ws = [r.norm.weighted_speedup for r in items]
-        hs = [r.norm.harmonic_speedup for r in items]
-        ms = [r.norm.maximum_slowdown for r in items]
-        energy = [r.norm_energy for r in items]
+        ok = [r for r in items if r.norm is not None]
+        ws = [r.norm.weighted_speedup for r in ok]
+        hs = [r.norm.harmonic_speedup for r in ok]
+        ms = [r.norm.maximum_slowdown for r in ok]
+        energy = [r.norm_energy for r in ok]
         out.append(
             {
                 "scenario": scenario,
                 "mechanism": mechanism,
-                "norm_ws_mean": statistics.mean(ws),
-                "norm_ws_max": max(ws),
-                "norm_hs_mean": statistics.mean(hs),
-                "norm_ms_mean": statistics.mean(ms),
-                "norm_energy_mean": statistics.mean(energy),
-                "bitflips": sum(r.bitflips for r in items),
+                "norm_ws_mean": _stat(statistics.mean, ws),
+                "norm_ws_max": _stat(max, ws),
+                "norm_hs_mean": _stat(statistics.mean, hs),
+                "norm_ms_mean": _stat(statistics.mean, ms),
+                "norm_energy_mean": _stat(statistics.mean, energy),
+                "bitflips": sum(r.bitflips for r in ok) if ok else None,
+                "failed": len(items) - len(ok),
             }
         )
     return out
@@ -333,6 +407,8 @@ def assemble_attribution_rows(
         base = results[mix_key(hcfg, mix, "none")]
         for mechanism in mechanisms:
             outcome = results[mix_key(hcfg, mix, mechanism)]
+            if failed(base) or failed(outcome):
+                continue  # no per-channel data to attribute
             for entry in outcome.extras.get("channel_attribution", []):
                 channel = entry["channel"]
                 mech_stats = _thread_channel_stats(outcome.result, channel)
@@ -601,10 +677,30 @@ def os_policy_sweep(
         ]
         for mechanism in mechanisms:
             base = results[mix_key(hcfg, mix, mechanism, governor=None)]
-            base_ipc = {slot: base.result.threads[slot].ipc for slot in benign}
+            if not failed(base):
+                base_ipc = {slot: base.result.threads[slot].ipc for slot in benign}
             for policy in policies:
                 spec = OS_SWEEP_POLICIES[policy]
                 outcome = results[mix_key(hcfg, mix, mechanism, governor=spec)]
+                if failed(base) or failed(outcome):
+                    rows.append(
+                        {
+                            "mix": mix.name,
+                            "mechanism": mechanism,
+                            "policy": policy,
+                            "benign_slowdown_mean": None,
+                            "benign_slowdown_max": None,
+                            "attacker_rhli": None,
+                            "attacker_requests": None,
+                            "governor_epochs": None,
+                            "kills": None,
+                            "benign_killed": None,
+                            "migrations": None,
+                            "quota_updates": None,
+                            "bitflips": None,
+                        }
+                    )
+                    continue
                 rhli = outcome.extras["thread_rhli"]
                 actions = outcome.extras["governor_actions"]
                 killed = (
@@ -714,7 +810,10 @@ def rhli_experiment(
         attacker_rhli = []
         benign_rhli = []
         for mix in mixes:
-            rhli = results[mix_key(hcfg, mix, mode)].extras["thread_rhli"]
+            entry = results[mix_key(hcfg, mix, mode)]
+            if failed(entry):
+                continue  # excluded from the mode's statistics
+            rhli = entry.extras["thread_rhli"]
             for slot in range(len(mix.app_names)):
                 if slot in mix.attacker_threads:
                     attacker_rhli.append(rhli[slot])
@@ -752,7 +851,10 @@ def sec84_internals(
     fp_acts = 0
     delays: list[float] = []
     for mix in mixes:
-        stats = results[mix_key(hcfg, mix, "blockhammer")].extras["delay_stats"]
+        entry = results[mix_key(hcfg, mix, "blockhammer")]
+        if failed(entry):
+            continue  # excluded from the aggregate statistics
+        stats = entry.extras["delay_stats"]
         total_acts += stats.total_acts
         fp_acts += stats.false_positive_acts
         delays.extend(stats.false_positive_delays_ns)
@@ -790,15 +892,16 @@ def table8_calibration(
     rows = []
     for app in apps:
         profile = next(p for p in TABLE8_PROFILES if p.name == app)
-        thread = results[single_key(hcfg, app, 0, "none")].result.threads[0]
+        entry = results[single_key(hcfg, app, 0, "none")]
+        thread = None if failed(entry) else entry.result.threads[0]
         rows.append(
             {
                 "app": app,
                 "category": profile.category.value,
                 "target_mpki": profile.mpki,
-                "measured_mpki": thread.mpki,
+                "measured_mpki": None if thread is None else thread.mpki,
                 "target_rbcpki": profile.rbcpki,
-                "measured_rbcpki": thread.rbcpki,
+                "measured_rbcpki": None if thread is None else thread.rbcpki,
             }
         )
     return rows

@@ -29,6 +29,23 @@ whose key + source fingerprint match a stored entry are returned from
 disk before any dispatch, so re-running an unchanged sweep performs
 zero simulations and yields bit-identical rows.
 
+Execution is **fault-tolerant** (see :mod:`repro.harness.retry` for the
+policy knobs and :mod:`repro.harness.faults` for the chaos harness that
+tests them):
+
+* every finished :class:`JobResult` is **checkpointed into the cache
+  the moment it lands** — an interrupted or crashed sweep resumes from
+  its completed jobs, never from zero;
+* a dead worker (``BrokenProcessPool``) rebuilds the pool and retries
+  only the affected jobs, with bounded exponential backoff and
+  deterministic jitter — retried jobs are bit-identical because every
+  job is a self-contained deterministic simulation;
+* jobs running past the per-job wall-clock timeout have their worker
+  killed and re-enter the retry ladder (kill → retry → … → skip);
+* with ``on_error="skip"`` exhausted jobs become structured
+  :class:`JobFailure` records in the returned mapping (drivers render
+  them as ``-`` rows) instead of raising :class:`JobExecutionError`.
+
 Mechanism objects hold closures (the adjacency oracle) and cannot cross
 a process boundary; anything a driver needs from the mechanism after
 the run is declared up front via ``SimJob.extract`` and computed inside
@@ -38,11 +55,17 @@ the worker (see :data:`EXTRACTORS`).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 from repro.energy.drampower import EnergyBreakdown
 from repro.harness.cache import CACHEABLE_EXTRAS, ResultCache, resolve_cache
+from repro.harness.faults import FaultPlan, SimulatedCrash
+from repro.harness.retry import ExecPolicy, resolve_policy
 from repro.harness.runner import HarnessConfig, Runner, RunOutcome
 from repro.os.spec import GovernorSpec
 from repro.sim.stats import SimResult
@@ -212,6 +235,68 @@ class JobResult:
         return self.result.total_bitflips
 
 
+@dataclass
+class JobFailure:
+    """A job that exhausted its retry budget (``on_error="skip"``).
+
+    Stored in the ``run_jobs`` result mapping under the job's key, in
+    place of a :class:`JobResult`; drivers test entries with
+    :func:`failed` and render failed rows as ``-``.  ``kind`` is
+    ``"crash"`` (worker death), ``"timeout"`` (per-job wall-clock
+    limit), or ``"error"`` (the job raised).
+    """
+
+    key: JobKey
+    kind: str
+    attempts: int
+    error: str = ""
+
+
+def failed(entry) -> bool:
+    """Whether a ``run_jobs`` result entry is a :class:`JobFailure`."""
+    return isinstance(entry, JobFailure)
+
+
+class JobExecutionError(RuntimeError):
+    """Raised by ``run_jobs(..., on_error="raise")`` after the sweep
+    drains, carrying every :class:`JobFailure`.  Completed jobs are
+    already checkpointed in the result cache, so a re-run resumes from
+    them."""
+
+    def __init__(self, failures: list[JobFailure]) -> None:
+        self.failures = failures
+        detail = "; ".join(
+            f"{f.kind} after {f.attempts} attempt(s): {f.error or f.key!r}"
+            for f in failures[:3]
+        )
+        more = f" (+{len(failures) - 3} more)" if len(failures) > 3 else ""
+        super().__init__(f"{len(failures)} job(s) failed: {detail}{more}")
+
+
+@dataclass
+class SweepReport:
+    """Progress/failure accounting for one or more ``run_jobs`` calls.
+
+    Pass an instance via ``run_jobs(..., report=...)`` to accumulate
+    across calls; the most recent sweep's report is also available from
+    :func:`last_report`.  Render with
+    :func:`repro.harness.reporting.format_sweep_report`.
+    """
+
+    total: int = 0
+    cached: int = 0
+    executed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    failures: list[JobFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return self.cached + self.executed
+
+
 # ----------------------------------------------------------------------
 # Job execution (runs inside worker processes for parallel sweeps).
 # ----------------------------------------------------------------------
@@ -306,12 +391,71 @@ def dedupe_jobs(jobs: list[SimJob]) -> list[SimJob]:
     return list(unique.values())
 
 
+def _invoke_job(job: SimJob, attempt: int, faults: FaultPlan | None) -> JobResult:
+    """One job attempt (the unit the pool dispatches): fire any injected
+    fault for this ``(job, attempt)``, then run the simulation."""
+    if faults is not None:
+        faults.apply(job, attempt, in_process=False)
+    return execute_job(job)
+
+
+#: Environment variable: any non-``0`` value streams one progress line
+#: per completed/cached/failed job to stderr (CLI ``--progress``).
+PROGRESS_ENV = "REPRO_PROGRESS"
+
+#: The report of the most recent ``run_jobs`` call in this process.
+_LAST_REPORT: SweepReport | None = None
+
+
+def last_report() -> SweepReport | None:
+    """The :class:`SweepReport` of the most recent ``run_jobs`` call."""
+    return _LAST_REPORT
+
+
+def _job_label(job: SimJob) -> str:
+    """A short human label for progress lines (full keys embed the whole
+    HarnessConfig repr)."""
+    what = job.app if job.kind == "single" else job.mix.name
+    return f"{job.kind}:{what}:{job.mechanism}"
+
+
+def _progress_printer():
+    if os.environ.get(PROGRESS_ENV, "").strip() in ("", "0"):
+        return None
+
+    def emit(report: SweepReport, job: SimJob, status: str) -> None:
+        done = report.completed + len(report.failures)
+        print(
+            f"[{done}/{report.total}] {status:>7} {_job_label(job)}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return emit
+
+
+@lru_cache(maxsize=1)
+def pool_available() -> bool:
+    """Whether this platform can spawn worker processes at all (the
+    chaos tests skip pool scenarios where it cannot)."""
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pool.submit(os.getpid).result()
+        return True
+    except Exception:
+        return False
+
+
 def run_jobs(
     jobs: list[SimJob],
     workers: int | None = None,
     chunksize: int = 1,
     cache: ResultCache | bool | None = None,
-) -> dict[JobKey, JobResult]:
+    policy: ExecPolicy | None = None,
+    on_error: str | None = None,
+    faults: FaultPlan | None = None,
+    report: SweepReport | None = None,
+) -> dict[JobKey, JobResult | JobFailure]:
     """Execute ``jobs`` (deduplicated) and return results by job key.
 
     ``workers <= 1`` runs serially in-process; ``workers > 1`` fans out
@@ -326,58 +470,346 @@ def run_jobs(
     for the default directory, ``False`` to force it off, or ``None`` to
     defer to the ``REPRO_CACHE`` environment variable.  Cached jobs are
     resolved before dispatch — a fully warm sweep performs zero
-    simulations — and fresh results are stored after execution (in the
-    dispatching process; workers never touch the cache directory).
+    simulations — and every fresh result is **checkpointed to the cache
+    as it lands** (in the dispatching process; workers never touch the
+    cache directory), so an interrupted sweep resumes from its completed
+    jobs.
+
+    ``policy`` (default: from the ``REPRO_RETRIES`` /
+    ``REPRO_JOB_TIMEOUT`` / ``REPRO_ON_ERROR`` environment) governs
+    retries, backoff, and per-job timeouts — see
+    :class:`~repro.harness.retry.ExecPolicy`; ``on_error`` overrides its
+    disposition.  ``faults`` injects deterministic chaos (tests only).
+    ``report`` accumulates progress/failure counts across calls.
+    ``chunksize`` is accepted for backward compatibility and ignored
+    (dispatch is per-future so results can checkpoint incrementally).
     """
+    del chunksize
+    global _LAST_REPORT
     ordered = dedupe_jobs(jobs)
+    pol = resolve_policy(policy, on_error)
     store = resolve_cache(cache)
-    results: dict[JobKey, JobResult] = {}
+    rep = report if report is not None else SweepReport()
+    _LAST_REPORT = rep
+    rep.total += len(ordered)
+    progress = _progress_printer()
+    start = time.monotonic()
+    results: dict[JobKey, JobResult | JobFailure] = {}
     pending = ordered
-    if store is not None:
-        pending = []
-        for job in ordered:
-            hit = store.get(job)
-            if hit is not None:
-                results[job.key] = hit
-            else:
-                pending.append(job)
-    fresh = _execute_jobs(pending, workers, chunksize)
-    if store is not None:
-        for job in pending:
-            store.put(job, fresh[job.key])
-    results.update(fresh)
+    try:
+        if store is not None:
+            pending = []
+            for job in ordered:
+                hit = store.get(job)
+                if hit is not None:
+                    results[job.key] = hit
+                    rep.cached += 1
+                    if progress:
+                        progress(rep, job, "cached")
+                else:
+                    pending.append(job)
+
+        def checkpoint(job: SimJob, result: JobResult) -> None:
+            results[job.key] = result
+            if store is not None:
+                store.put(job, result)
+            rep.executed += 1
+            if progress:
+                progress(rep, job, "done")
+
+        failures = _execute_jobs(pending, workers, pol, faults, checkpoint, rep)
+    finally:
+        rep.elapsed_s += time.monotonic() - start
+    rep.failures.extend(failures)
+    if failures:
+        if progress:
+            for failure in failures:
+                job = next(j for j in pending if j.key == failure.key)
+                progress(rep, job, failure.kind.upper())
+        if pol.on_error == "raise":
+            raise JobExecutionError(failures)
+        for failure in failures:
+            results[failure.key] = failure
     return results
 
 
+class _PoolUnavailable(Exception):
+    """Worker processes cannot be spawned (restricted environments);
+    carries any failures already recorded before the pool died."""
+
+    def __init__(self, failures: list[JobFailure] | None = None) -> None:
+        super().__init__("process pool unavailable")
+        self.failures = failures or []
+
+
 def _execute_jobs(
-    ordered: list[SimJob], workers: int | None, chunksize: int
-) -> dict[JobKey, JobResult]:
-    """Execute deduplicated jobs, over a pool when possible."""
+    ordered: list[SimJob],
+    workers: int | None,
+    policy: ExecPolicy,
+    faults: FaultPlan | None,
+    checkpoint,
+    report: SweepReport,
+) -> list[JobFailure]:
+    """Execute deduplicated jobs, over a pool when possible.
+
+    Calls ``checkpoint(job, result)`` the moment each job lands; returns
+    the :class:`JobFailure` records of jobs that exhausted the policy's
+    retry ladder.
+    """
     if not ordered:
-        return {}
+        return []
     count = resolve_workers(workers)
+    completed: set[JobKey] = set()
+
+    def _checkpoint(job: SimJob, result: JobResult) -> None:
+        completed.add(job.key)
+        checkpoint(job, result)
+
     if count > 1 and len(ordered) > 1:
-        spawned = False
         try:
-            with ProcessPoolExecutor(max_workers=min(count, len(ordered))) as pool:
-                # Probe before dispatching real work: worker processes
-                # spawn lazily, so "this platform cannot run process
-                # pools" (sandboxed CI) only surfaces on first use.
-                pool.submit(os.getpid).result()
-                spawned = True
-                results = list(pool.map(execute_job, ordered, chunksize=chunksize))
-            return {res.key: res for res in results}
-        except (OSError, PermissionError, RuntimeError):
-            if spawned:
-                # Workers ran: this is a genuine failure inside the
-                # sweep (a job raised, or a worker died mid-run).
-                # Surface it rather than silently rerunning hours of
-                # work serially.
-                raise
+            return _pool_execute(ordered, count, policy, faults, _checkpoint, report)
+        except _PoolUnavailable as unavailable:
             # Process pools are unavailable (restricted environments):
             # fall back to the serial path, which produces identical
-            # results.
-    return {job.key: execute_job(job) for job in ordered}
+            # results, resuming from whatever already checkpointed.
+            done = completed | {f.key for f in unavailable.failures}
+            remaining = [job for job in ordered if job.key not in done]
+            return unavailable.failures + _serial_execute(
+                remaining, policy, faults, _checkpoint, report
+            )
+    return _serial_execute(ordered, policy, faults, _checkpoint, report)
+
+
+# ----------------------------------------------------------------------
+# The serial path.
+# ----------------------------------------------------------------------
+def _serial_execute(
+    ordered: list[SimJob],
+    policy: ExecPolicy,
+    faults: FaultPlan | None,
+    checkpoint,
+    report: SweepReport,
+) -> list[JobFailure]:
+    """In-process execution with the same retry ladder as the pool path.
+
+    Worker "crashes" degrade to :class:`SimulatedCrash` exceptions (the
+    process *is* the sweep), and per-job timeouts cannot preempt a
+    running simulation — injected hangs simply sleep.  Incremental
+    checkpointing still holds: a ``KeyboardInterrupt`` propagates with
+    every completed job already stored.
+    """
+    failures: list[JobFailure] = []
+    for job in ordered:
+        attempt = 1
+        first_failure: float | None = None
+        while True:
+            try:
+                if faults is not None:
+                    faults.apply(job, attempt, in_process=True)
+                result = execute_job(job)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                kind = "crash" if isinstance(exc, SimulatedCrash) else "error"
+                if kind == "crash":
+                    report.crashes += 1
+                now = time.monotonic()
+                if first_failure is None:
+                    first_failure = now
+                if not policy.may_retry(attempt, now - first_failure):
+                    failures.append(
+                        JobFailure(job.key, kind, attempt, repr(exc))
+                    )
+                    break
+                report.retries += 1
+                time.sleep(policy.backoff_delay(job.key, attempt))
+                attempt += 1
+            else:
+                checkpoint(job, result)
+                break
+    return failures
+
+
+# ----------------------------------------------------------------------
+# The pool path.
+# ----------------------------------------------------------------------
+@dataclass
+class _Attempt:
+    """One queued/in-flight dispatch of a job."""
+
+    job: SimJob
+    attempt: int = 1
+    ready_at: float = 0.0  # earliest re-dispatch time (backoff)
+    first_failure: float | None = None
+    deadline: float | None = None  # per-job wall-clock kill time
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool's workers (hung jobs cannot be
+    cancelled; killing the processes is the only preemption there is)
+    and release the executor without waiting."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _pool_execute(
+    ordered: list[SimJob],
+    count: int,
+    policy: ExecPolicy,
+    faults: FaultPlan | None,
+    checkpoint,
+    report: SweepReport,
+) -> list[JobFailure]:
+    """Per-future dispatch over a process pool that survives worker
+    death and enforces per-job timeouts.
+
+    Invariants: at most ``count`` attempts are in flight (so a job's
+    wall-clock deadline starts when a worker actually picks it up);
+    results checkpoint the moment their future resolves; a broken pool
+    is rebuilt and only the affected jobs re-enter the queue.  Raises
+    :class:`_PoolUnavailable` if workers cannot be spawned at all.
+    """
+    failures: list[JobFailure] = []
+    queue: deque[_Attempt] = deque(_Attempt(job) for job in ordered)
+    inflight: dict = {}  # future -> _Attempt
+    pool: ProcessPoolExecutor | None = None
+
+    def retry_or_fail(entry: _Attempt, kind: str, message: str, now: float) -> None:
+        if entry.first_failure is None:
+            entry.first_failure = now
+        if not policy.may_retry(entry.attempt, now - entry.first_failure):
+            failures.append(
+                JobFailure(entry.job.key, kind, entry.attempt, message)
+            )
+            return
+        report.retries += 1
+        queue.append(
+            replace(
+                entry,
+                attempt=entry.attempt + 1,
+                ready_at=now + policy.backoff_delay(entry.job.key, entry.attempt),
+                deadline=None,
+            )
+        )
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(count, max(1, len(queue)))
+                )
+                try:
+                    # Probe before dispatching real work: worker
+                    # processes spawn lazily, so "this platform cannot
+                    # run process pools" only surfaces on first use.
+                    pool.submit(os.getpid).result()
+                except (OSError, PermissionError, RuntimeError):
+                    raise _PoolUnavailable(failures) from None
+            # Dispatch up to the worker count, skipping entries still
+            # backing off.
+            while queue and len(inflight) < count:
+                index = next(
+                    (i for i, e in enumerate(queue) if e.ready_at <= now), None
+                )
+                if index is None:
+                    break
+                entry = queue[index]
+                del queue[index]
+                try:
+                    future = pool.submit(
+                        _invoke_job, entry.job, entry.attempt, faults
+                    )
+                except (BrokenExecutor, OSError, RuntimeError):
+                    # The pool broke between dispatches (a worker died
+                    # while we were still submitting).  Requeue this
+                    # entry untouched; in-flight futures surface the
+                    # break below, or we rebuild immediately.
+                    queue.appendleft(entry)
+                    if not inflight:
+                        _kill_pool(pool)
+                        pool = None
+                    break
+                entry.deadline = (
+                    now + policy.job_timeout_s
+                    if policy.job_timeout_s is not None
+                    else None
+                )
+                inflight[future] = entry
+            if pool is None:
+                continue
+            if not inflight:
+                # Everything queued is backing off: sleep to the next
+                # ready time.
+                time.sleep(max(0.0, min(e.ready_at for e in queue) - now))
+                continue
+            wakeups = [e.deadline for e in inflight.values() if e.deadline is not None]
+            wakeups += [e.ready_at for e in queue if e.ready_at > now]
+            timeout = max(0.0, min(wakeups) - now) if wakeups else None
+            done, _ = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            pool_broken = False
+            for future in done:
+                entry = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenExecutor as exc:
+                    # BrokenProcessPool: a worker died.  Every in-flight
+                    # job is collateral — the pool cannot say which one
+                    # crashed it, so all of them consume a retry.
+                    pool_broken = True
+                    report.crashes += 1
+                    retry_or_fail(entry, "crash", repr(exc), now)
+                except Exception as exc:
+                    retry_or_fail(entry, "error", repr(exc), now)
+                else:
+                    checkpoint(entry.job, result)
+            if pool_broken:
+                for future, entry in inflight.items():
+                    report.crashes += 1
+                    retry_or_fail(entry, "crash", "worker pool died mid-run", now)
+                inflight.clear()
+                _kill_pool(pool)
+                pool = None
+                continue
+            expired = {
+                future: entry
+                for future, entry in inflight.items()
+                if entry.deadline is not None and now >= entry.deadline
+            }
+            if expired:
+                # The only way to preempt a hung worker is to kill the
+                # pool; timed-out jobs consume a retry, innocent
+                # in-flight jobs are re-queued without consuming one.
+                for entry in expired.values():
+                    report.timeouts += 1
+                    retry_or_fail(
+                        entry,
+                        "timeout",
+                        f"exceeded job timeout of {policy.job_timeout_s}s "
+                        f"(attempt {entry.attempt})",
+                        now,
+                    )
+                for future, entry in inflight.items():
+                    if future not in expired:
+                        queue.append(replace(entry, ready_at=now, deadline=None))
+                inflight.clear()
+                _kill_pool(pool)
+                pool = None
+    finally:
+        if pool is not None:
+            if inflight:
+                _kill_pool(pool)  # interrupted mid-sweep: do not hang
+            else:
+                pool.shutdown()
+    return failures
 
 
 # ----------------------------------------------------------------------

@@ -62,10 +62,10 @@ def format_channel_summary(summary: list[dict]) -> str:
                 s["layout"],
                 s["scenario"],
                 s["mechanism"],
-                round(s["norm_ws_mean"], 3),
-                round(s["norm_hs_mean"], 3),
-                round(s["norm_ms_mean"], 3),
-                round(s["norm_energy_mean"], 3),
+                round_or_none(s["norm_ws_mean"], 3),
+                round_or_none(s["norm_hs_mean"], 3),
+                round_or_none(s["norm_ms_mean"], 3),
+                round_or_none(s["norm_energy_mean"], 3),
                 s["bitflips"],
             ]
             for s in summary
@@ -115,6 +115,26 @@ def format_os_policy(rows: list[dict]) -> str:
             for r in rows
         ],
     )
+
+
+def format_sweep_report(report) -> str:
+    """Render a :class:`~repro.harness.parallel.SweepReport`: one
+    headline line of sweep-level progress counters, plus one line per
+    structured job failure (kind, attempts, error).  The CLI prints this
+    to stderr under ``--progress``; a fault-free sweep reads
+    ``0 retries, 0 timeouts, 0 crashes, 0 failed``."""
+    lines = [
+        f"sweep: {report.total} job(s) — {report.cached} cached, "
+        f"{report.executed} executed, {report.retries} retries, "
+        f"{report.timeouts} timeouts, {report.crashes} crashes, "
+        f"{len(report.failures)} failed in {report.elapsed_s:.2f}s"
+    ]
+    for failure in report.failures:
+        lines.append(
+            f"  FAILED [{failure.kind}] after {failure.attempts} attempt(s): "
+            f"{failure.error or failure.key!r}"
+        )
+    return "\n".join(lines)
 
 
 def format_attribution(attribution: list[dict]) -> str:

@@ -78,3 +78,70 @@ def test_chansweep_rejects_bad_channel_list():
         build_parser().parse_args(["chansweep", "--channel-sweep", "1,zero"])
     with pytest.raises(SystemExit):
         build_parser().parse_args(["chansweep", "--channel-sweep", "0"])
+
+
+def test_exec_policy_flags_set_environment(monkeypatch):
+    """--retries/--job-timeout/--on-error/--progress thread through to
+    the REPRO_* environment that resolve_policy reads."""
+    import os
+
+    from repro.harness import parallel
+    from repro.harness.retry import (
+        JOB_TIMEOUT_ENV,
+        ON_ERROR_ENV,
+        RETRIES_ENV,
+        resolve_policy,
+    )
+
+    for var in (RETRIES_ENV, JOB_TIMEOUT_ENV, ON_ERROR_ENV, parallel.PROGRESS_ENV):
+        monkeypatch.delenv(var, raising=False)
+    code = main(
+        [
+            "table1",  # no sweep: flags must still parse and apply
+            "--retries", "4",
+            "--job-timeout", "30",
+            "--on-error", "skip",
+            "--progress",
+        ]
+    )
+    assert code == 0
+    assert os.environ[RETRIES_ENV] == "4"
+    assert os.environ[JOB_TIMEOUT_ENV] == "30.0"
+    assert os.environ[ON_ERROR_ENV] == "skip"
+    assert os.environ[parallel.PROGRESS_ENV] == "1"
+    policy = resolve_policy(None)
+    assert policy.attempts == 5
+    assert policy.job_timeout_s == 30.0
+    assert policy.on_error == "skip"
+
+
+def test_exec_policy_flags_validate():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig4", "--retries", "-1"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig4", "--job-timeout", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig4", "--on-error", "explode"])
+
+
+def test_progress_prints_sweep_report(capsys, monkeypatch):
+    from repro.harness import parallel
+
+    monkeypatch.delenv(parallel.PROGRESS_ENV, raising=False)
+    code = main(
+        [
+            "fig4",
+            "--scale", "512",
+            "--instructions", "2000",
+            "--warmup-us", "2",
+            "--apps", "403.gcc",
+            "--mechanisms", "none",
+            "--progress",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "sweep:" in captured.err
+    assert "0 failed" in captured.err
+    assert "single:403.gcc" in captured.err  # per-job progress lines
+    assert "mechanism" in captured.out  # the figure table still prints

@@ -42,7 +42,30 @@ def test_fig4_group_means_aggregates():
     ]
     means = fig4_group_means(rows)
     assert means == [
-        {"category": "L", "mechanism": "x", "norm_time": 2.0, "norm_energy": 3.0}
+        {
+            "category": "L",
+            "mechanism": "x",
+            "norm_time": 2.0,
+            "norm_energy": 3.0,
+            "failed": 0,
+        }
+    ]
+
+
+def test_fig4_group_means_counts_failed_rows():
+    rows = [
+        {"category": "L", "mechanism": "x", "norm_time": 1.0, "norm_energy": 2.0},
+        {"category": "L", "mechanism": "x", "norm_time": None, "norm_energy": None},
+    ]
+    means = fig4_group_means(rows)
+    assert means == [
+        {
+            "category": "L",
+            "mechanism": "x",
+            "norm_time": 1.0,
+            "norm_energy": 2.0,
+            "failed": 1,
+        }
     ]
 
 

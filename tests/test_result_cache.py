@@ -137,6 +137,69 @@ def test_corrupt_entry_is_a_miss(tmp_path, hcfg2):
     assert cache.get(job) is None
 
 
+def test_corrupt_entry_is_quarantined_and_counted(tmp_path, hcfg2):
+    """Garbage JSON is renamed to *.corrupt (not re-parsed forever, not
+    silently deleted) and tallied in the ``corrupt`` stat; a re-store
+    then overwrites the slot cleanly."""
+    cache = ResultCache(tmp_path)
+    job = single_job(hcfg2, "403.gcc", "none")
+    fresh = execute_job(job)
+    cache.put(job, fresh)
+    path = cache._path(job)
+    path.write_text("\x00garbage\x00")
+    assert cache.get(job) is None
+    assert cache.corrupt == 1 and cache.misses == 1
+    assert not path.exists()
+    assert path.with_suffix(".corrupt").exists()
+    cache.put(job, fresh)
+    hit = cache.get(job)
+    assert hit is not None and hit.result == fresh.result
+
+
+def test_mangled_payload_is_quarantined(tmp_path, hcfg2):
+    """A schema-valid envelope around a broken payload (e.g. a partial
+    overwrite) quarantines like bad JSON instead of crashing decode."""
+    cache = ResultCache(tmp_path)
+    job = single_job(hcfg2, "403.gcc", "none")
+    cache.put(job, execute_job(job))
+    path = cache._path(job)
+    data = json.loads(path.read_text())
+    data["result"] = {"mangled": True}
+    path.write_text(json.dumps(data))
+    assert cache.get(job) is None
+    assert cache.corrupt == 1
+    assert path.with_suffix(".corrupt").exists()
+
+
+def test_schema_mismatch_is_a_plain_miss_not_corruption(tmp_path, hcfg2):
+    """Stale-but-well-formed entries (old fingerprint, missing extras)
+    are ordinary misses: no quarantine, no corrupt tally."""
+    job = single_job(hcfg2, "403.gcc", "none")
+    cache = ResultCache(tmp_path)
+    cache.put(job, execute_job(job))
+    stale = ResultCache(tmp_path, fingerprint="deadbeef")
+    assert stale.get(job) is None
+    assert stale.corrupt == 0
+    assert cache._path(job).exists()  # entry left in place
+
+
+def test_quarantined_files_do_not_count_toward_eviction_cap(tmp_path, hcfg2):
+    """*.corrupt files live outside the *.json lookup namespace, so the
+    LRU cap neither deletes them nor counts them as entries."""
+    cache = ResultCache(tmp_path, max_entries=2)
+    jobs = [
+        single_job(hcfg2, app, "none") for app in ("403.gcc", "401.bzip2")
+    ]
+    for job in jobs:
+        cache.put(job, execute_job(job))
+    cache._path(jobs[0]).write_text("junk")
+    assert cache.get(jobs[0]) is None  # quarantined
+    third = single_job(hcfg2, "445.gobmk", "none")
+    cache.put(third, execute_job(third))
+    assert cache.evictions == 0  # one .json slot was freed by quarantine
+    assert cache._path(jobs[0]).with_suffix(".corrupt").exists()
+
+
 def test_source_fingerprint_is_stable():
     assert source_fingerprint() == source_fingerprint()
     assert len(source_fingerprint()) == 64
