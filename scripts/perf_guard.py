@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI perf-regression guard: the hot loop must not get slower.
+
+Re-measures the single-process hot-loop benchmarks (one attack mix
+under ``none`` and under ``blockhammer``, best-of-N — section 3 of
+``benchmarks/bench_speed.py``) and fails when the measured events/sec
+falls more than ``--tolerance`` (default 20%) below the committed
+``BENCH_speed.json`` baseline.
+
+Only the singles run here: they take seconds, and events/sec is the
+metric the optimization PRs move.  The full benchmark (sweeps, cache
+replays, seed baseline) stays a manual ``benchmarks/bench_speed.py``
+run whose output is committed.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = baseline or
+measurement problem.  Usage::
+
+    PYTHONPATH=src python scripts/perf_guard.py [--tolerance 0.2] [--repeats 5]
+
+``REPRO_PERF_TOLERANCE`` overrides the default tolerance (CI knob, no
+workflow edit needed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_speed.json"
+
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.20")),
+        help="allowed fractional events/sec drop vs baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="best-of-N repeats per mechanism (default 5, as in bench_speed)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    if not BASELINE.exists():
+        print(f"perf-guard: no baseline at {BASELINE}", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE.read_text())["current"]["single"]
+
+    import bench_speed
+
+    measured = bench_speed.measure_single_runs(repeats=args.repeats)
+
+    failed = False
+    for mechanism, row in measured.items():
+        base = baseline.get(mechanism, {})
+        base_rate = base.get("events_per_sec")
+        rate = row.get("events_per_sec")
+        if not base_rate or not rate:
+            print(
+                f"perf-guard: {mechanism}: missing events/sec "
+                f"(baseline={base_rate}, measured={rate})",
+                file=sys.stderr,
+            )
+            return 2
+        floor = base_rate * (1.0 - args.tolerance)
+        ratio = rate / base_rate
+        verdict = "OK" if rate >= floor else "REGRESSION"
+        print(
+            f"perf-guard: {mechanism}: {rate} ev/s vs baseline {base_rate} "
+            f"({ratio:.2f}x, floor {floor:.0f}) {verdict}"
+        )
+        if rate < floor:
+            failed = True
+    if failed:
+        print(
+            f"perf-guard: hot-loop event rate regressed more than "
+            f"{args.tolerance:.0%} vs committed BENCH_speed.json",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,6 +84,13 @@ class BlockHammer(MitigationMechanism):
         self.rowblocker.maybe_rotate(now)
         self.throttler.maybe_rotate(now)
 
+    def advance_to(self, now: float) -> float:
+        # Between CBF rotations and throttler epoch clears, BlockHammer
+        # state only changes through ACTs the controller itself issues.
+        self.rowblocker.maybe_rotate(now)
+        self.throttler.maybe_rotate(now)
+        return min(self.rowblocker.next_rotate, self.throttler.next_clear)
+
     def act_allowed_at(self, rank: int, bank: int, row: int, thread: int, now: float) -> float:
         if self.observe_only:
             return now

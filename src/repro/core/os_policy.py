@@ -69,6 +69,15 @@ class BlockHammerWithOsPolicy(BlockHammer):
         super().on_time_advance(now)
         self.governor.advance(now)
 
+    def advance_to(self, now: float) -> float:
+        # Fold the governor's next review deadline into the quiescence
+        # horizon so mechanism-coupled reviews keep their exact timing
+        # (the first controller step at or past the deadline) even when
+        # the controller leaps across review boundaries.
+        horizon = super().advance_to(now)
+        next_review = self.governor.advance(now)
+        return horizon if horizon < next_review else next_review
+
     @property
     def killed_threads(self) -> set[int]:
         """Threads the governor has descheduled (read-only view)."""

@@ -57,6 +57,13 @@ class AttackThrottler:
         self.blacklisted_acts_total = 0
 
     # ------------------------------------------------------------------
+    @property
+    def next_clear(self) -> float:
+        """Next epoch boundary (counter clear-and-swap instant): until
+        then RHLI counters only change through blacklisted ACTs the
+        controller itself issues, so quotas are stable in between."""
+        return self._next_clear
+
     def maybe_rotate(self, now: float) -> None:
         """Clear-and-swap in lockstep with the D-CBF epochs."""
         while now >= self._next_clear:

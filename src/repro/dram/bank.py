@@ -40,6 +40,18 @@ class Bank:
         "next_wr",
         "last_act_time",
         "stats",
+        "_tRCD",
+        "_tRAS",
+        "_tRC",
+        "_tRP",
+        "_tCCD",
+        "_tRTW",
+        "_tRTP",
+        "_tRFC",
+        "_tCWL",
+        "_tBL",
+        "_tWTR",
+        "_tWR",
     )
 
     def __init__(self, spec: DramSpec, rank_id: int, bank_id: int) -> None:
@@ -53,6 +65,25 @@ class Bank:
         self.next_wr = _FAR_PAST
         self.last_act_time = _FAR_PAST
         self.stats = BankStats()
+        # Timing deltas resolved once: issue() runs once per DRAM
+        # command and a chain of spec attribute hops there is
+        # measurable.
+        self._tRCD = spec.tRCD
+        self._tRAS = spec.tRAS
+        self._tRC = spec.tRC
+        self._tRP = spec.tRP
+        self._tCCD = spec.tCCD
+        self._tRTW = spec.tRTW
+        self._tRTP = spec.tRTP
+        self._tRFC = spec.tRFC
+        # Kept as individual floats (not pre-summed): issue() must add
+        # them left-to-right exactly as the original ``now + tCWL + tBL
+        # + tWTR`` expression did, or the write-to-read/precharge gates
+        # shift by an ULP and bit-identity with the seed breaks.
+        self._tCWL = spec.tCWL
+        self._tBL = spec.tBL
+        self._tWTR = spec.tWTR
+        self._tWR = spec.tWR
 
     # ------------------------------------------------------------------
     # Scheduling queries.
@@ -99,35 +130,59 @@ class Bank:
 
         The caller is responsible for having checked :meth:`can_issue`.
         """
-        s = self.spec
-        if kind is CommandKind.ACT:
+        if kind is CommandKind.RD:
+            t = now + self._tCCD
+            if t > self.next_rd:
+                self.next_rd = t
+            t = now + self._tRTW
+            if t > self.next_wr:
+                self.next_wr = t
+            t = now + self._tRTP
+            if t > self.next_pre:
+                self.next_pre = t
+            self.stats.reads += 1
+        elif kind is CommandKind.ACT:
             self.open_row = row
             self.last_act_time = now
-            self.next_rd = max(self.next_rd, now + s.tRCD)
-            self.next_wr = max(self.next_wr, now + s.tRCD)
-            self.next_pre = max(self.next_pre, now + s.tRAS)
-            self.next_act = max(self.next_act, now + s.tRC)
+            t = now + self._tRCD
+            if t > self.next_rd:
+                self.next_rd = t
+            if t > self.next_wr:
+                self.next_wr = t
+            t = now + self._tRAS
+            if t > self.next_pre:
+                self.next_pre = t
+            t = now + self._tRC
+            if t > self.next_act:
+                self.next_act = t
             self.stats.activations += 1
         elif kind is CommandKind.PRE:
             self.open_row = None
-            self.next_act = max(self.next_act, now + s.tRP)
+            t = now + self._tRP
+            if t > self.next_act:
+                self.next_act = t
             self.stats.precharges += 1
-        elif kind is CommandKind.RD:
-            self.next_rd = max(self.next_rd, now + s.tCCD)
-            self.next_wr = max(self.next_wr, now + s.tRTW)
-            self.next_pre = max(self.next_pre, now + s.tRTP)
-            self.stats.reads += 1
         elif kind is CommandKind.WR:
-            self.next_wr = max(self.next_wr, now + s.tCCD)
-            self.next_rd = max(self.next_rd, now + s.tCWL + s.tBL + s.tWTR)
-            self.next_pre = max(self.next_pre, now + s.tCWL + s.tBL + s.tWR)
+            t = now + self._tCCD
+            if t > self.next_wr:
+                self.next_wr = t
+            t = now + self._tCWL + self._tBL + self._tWTR
+            if t > self.next_rd:
+                self.next_rd = t
+            t = now + self._tCWL + self._tBL + self._tWR
+            if t > self.next_pre:
+                self.next_pre = t
             self.stats.writes += 1
         elif kind is CommandKind.REF:
             # All-bank refresh occupies the bank for tRFC.
-            self.next_act = max(self.next_act, now + s.tRFC)
+            t = now + self._tRFC
+            if t > self.next_act:
+                self.next_act = t
         elif kind is CommandKind.VREF:
             # A directed victim-row refresh is an internal ACT+PRE pair
             # to the victim row: occupies the bank for tRC.
-            self.next_act = max(self.next_act, now + s.tRC)
+            t = now + self._tRC
+            if t > self.next_act:
+                self.next_act = t
         else:
             raise ValueError(f"unsupported command kind {kind}")

@@ -61,7 +61,20 @@ class DramDevice:
             ]
             for r in range(spec.ranks)
         ]
+        # Flat disturbance-model table, same bank_key indexing as
+        # flat_banks (issue() hot path).
+        self.flat_models: list = [None] * (spec.ranks << BANK_KEY_BITS)
+        for r in range(spec.ranks):
+            for b in range(spec.banks_per_rank):
+                self.flat_models[bank_key(r, b)] = self._models[r][b]
         self._bus_free = 0.0
+        # Individual timing floats, added in the same left-to-right
+        # order as the original ``now + tCL + tBL`` expressions:
+        # pre-summing the constants would associate differently and
+        # shift bus timestamps by an ULP, breaking bit-identity.
+        self._tCL = spec.tCL
+        self._tCWL = spec.tCWL
+        self._tBL = spec.tBL
         self._refresh_pointer = [0] * spec.ranks
         self.counts = CommandCounts()
         self.bitflips: list[BitFlip] = []
@@ -76,6 +89,10 @@ class DramDevice:
         self._open_banks = [0] * spec.ranks
         self._last_change = [0.0] * spec.ranks
         self.active_time = [0.0] * spec.ranks
+        # One-tuple bundle of the stable objects/scalars the FR-FCFS
+        # incremental select binds every call (bus_free stays out: it
+        # moves on every column command and must be read live).
+        self.select_hot = (self.flat_banks, self.ranks[0], spec.tCL, spec.tCWL)
 
     # ------------------------------------------------------------------
     # Accessors.
@@ -124,43 +141,44 @@ class DramDevice:
     # ------------------------------------------------------------------
     def issue(self, cmd: Command, now: float) -> list[BitFlip]:
         """Commit ``cmd`` at ``now``; return new bit-flips (if any)."""
-        bank = self.bank(cmd.rank, cmd.bank)
-        rank = self.ranks[cmd.rank]
+        kind = cmd.kind
+        key = (cmd.rank << BANK_KEY_BITS) | cmd.bank
+        bank = self.flat_banks[key]
         new_flips: list[BitFlip] = []
         if self.command_log is not None:
             self.command_log.append(
-                (now, cmd.kind.name, cmd.rank, cmd.bank, cmd.row, cmd.col)
+                (now, kind.name, cmd.rank, cmd.bank, cmd.row, cmd.col)
             )
 
-        if cmd.kind is CommandKind.ACT:
+        if kind is CommandKind.RD:
+            bank.issue(kind, cmd.row, now)
+            self._bus_free = now + self._tCL + self._tBL
+            self.counts.rd += 1
+        elif kind is CommandKind.ACT:
             self._note_bank_transition(cmd.rank, now, opening=True)
-            bank.issue(CommandKind.ACT, cmd.row, now)
-            rank.record_act(now)
+            bank.issue(kind, cmd.row, now)
+            self.ranks[cmd.rank].record_act(now)
             physical = self.row_mapping.to_physical(cmd.row)
-            new_flips = self.model(cmd.rank, cmd.bank).on_activate(physical, now)
+            new_flips = self.flat_models[key].on_activate(physical, now)
             self.counts.act += 1
-        elif cmd.kind is CommandKind.PRE:
-            bank.issue(CommandKind.PRE, cmd.row, now)
+        elif kind is CommandKind.PRE:
+            bank.issue(kind, cmd.row, now)
             self._note_bank_transition(cmd.rank, now, opening=False)
             self.counts.pre += 1
-        elif cmd.kind is CommandKind.RD:
-            bank.issue(CommandKind.RD, cmd.row, now)
-            self._bus_free = now + self.spec.tCL + self.spec.tBL
-            self.counts.rd += 1
-        elif cmd.kind is CommandKind.WR:
-            bank.issue(CommandKind.WR, cmd.row, now)
-            self._bus_free = now + self.spec.tCWL + self.spec.tBL
+        elif kind is CommandKind.WR:
+            bank.issue(kind, cmd.row, now)
+            self._bus_free = now + self._tCWL + self._tBL
             self.counts.wr += 1
-        elif cmd.kind is CommandKind.REF:
+        elif kind is CommandKind.REF:
             self._issue_refresh(cmd.rank, now)
-        elif cmd.kind is CommandKind.VREF:
-            bank.issue(CommandKind.VREF, cmd.row, now)
-            rank.record_act(now)
+        elif kind is CommandKind.VREF:
+            bank.issue(kind, cmd.row, now)
+            self.ranks[cmd.rank].record_act(now)
             physical = self.row_mapping.to_physical(cmd.row)
-            self.model(cmd.rank, cmd.bank).on_refresh_row(physical)
+            self.flat_models[key].on_refresh_row(physical)
             self.counts.vref += 1
         else:
-            raise ValueError(f"unsupported command kind {cmd.kind}")
+            raise ValueError(f"unsupported command kind {kind}")
 
         if new_flips:
             self.bitflips.extend(new_flips)

@@ -28,28 +28,34 @@ class Rank:
         # scheduling step, where the spec attribute hops are measurable.
         self._tRRD = spec.tRRD
         self._tFAW = spec.tFAW
+        #: Rank ACT readiness independent of ``now``: max(last ACT +
+        #: tRRD, tFAW-window close).  Only ACTs move it, so it is
+        #: maintained in :meth:`record_act` and the scheduler's hot
+        #: path reads it directly instead of calling
+        #: :meth:`earliest_act` every step.
+        self._act_ready = -1.0e18
 
     # ------------------------------------------------------------------
     # Rank-level constraints.
     # ------------------------------------------------------------------
     def earliest_act(self, now: float) -> float:
         """Earliest time any ACT may issue in this rank (tRRD + tFAW)."""
-        t = self._last_act + self._tRRD
-        if t < now:
-            t = now
+        t = self._act_ready
+        return t if t > now else now
+
+    def record_act(self, now: float) -> None:
+        """Record an ACT (or VREF, which embeds an ACT) at ``now``."""
         acts = self._act_times
+        acts.append(now)
+        self._last_act = now
+        t = now + self._tRRD
         if len(acts) == 4:
             # The 4th-most-recent ACT opens a tFAW window; a 5th ACT must
             # wait until that window closes.
             w = acts[0] + self._tFAW
             if w > t:
                 t = w
-        return t
-
-    def record_act(self, now: float) -> None:
-        """Record an ACT (or VREF, which embeds an ACT) at ``now``."""
-        self._act_times.append(now)
-        self._last_act = now
+        self._act_ready = t
 
     def all_banks_precharged(self) -> bool:
         """True when every bank has a closed row (needed for REF)."""

@@ -518,6 +518,22 @@ def run_jobs(
                 progress(rep, job, "done")
 
         failures = _execute_jobs(pending, workers, pol, faults, checkpoint, rep)
+    except KeyboardInterrupt:
+        # An interrupted sweep still reports what it checkpointed: the
+        # final SweepReport line tells a resuming user how many jobs
+        # are already in the cache before the interrupt propagates.
+        if progress:
+            rep.elapsed_s += time.monotonic() - start
+            start = time.monotonic()  # the finally below adds ~0 more
+            from repro.harness.reporting import format_sweep_report
+
+            print(
+                f"{format_sweep_report(rep)}\ninterrupted: "
+                f"{rep.completed} completed job(s) checkpointed",
+                file=sys.stderr,
+                flush=True,
+            )
+        raise
     finally:
         rep.elapsed_s += time.monotonic() - start
     rep.failures.extend(failures)

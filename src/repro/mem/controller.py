@@ -37,6 +37,11 @@ _NEVER = 1.0e30
 _NO_RANKS: frozenset[int] = frozenset()
 
 
+def _peek_nothing() -> None:
+    """``peek()`` stand-in for single-step entry points (no events)."""
+    return None
+
+
 @dataclass(frozen=True)
 class ControllerConfig:
     """Controller sizing and policy knobs (defaults follow Table 5)."""
@@ -130,17 +135,49 @@ class MemoryController:
         self.thread_stats = [ThreadMemStats() for _ in range(num_threads)]
         self.on_request_complete = None  # set by the System
         self._write_draining = False
+        # The mitigation's quiescence horizon (see ``advance_to``):
+        # persisted across batches because mechanism deadlines only ever
+        # move forward, so a stored horizon can be conservative (early)
+        # but never late.  Starts at -inf: the first step advances
+        # unconditionally.
+        self._mitig_horizon = -_NEVER
         # Pending victim refreshes, FIFO per bank: one queue per bank
         # keeps each scheduling step O(banks) while letting every idle
         # bank service refreshes in parallel (mechanisms like CBT can
         # queue hundreds at once).
         self._vrefs: dict[tuple[int, int], deque[int]] = {}
         self._pending_vref_count = 0
-        self._inflight: dict[tuple[int, int, int], int] = {}  # (thread, rank, bank)
+        # Per <thread, bank> in-flight counters keyed by the packed int
+        # ``(thread << 16) | Request.bank_key`` — admission and
+        # completion run once per request, and an int key avoids a
+        # tuple allocation + hash on each of those lookups.
+        self._inflight: dict[int, int] = {}
         self._inflight_per_thread: dict[int, int] = {}
+        # Completion-latency floats resolved once; added left-to-right
+        # in _complete_request exactly as ``now + tCL + tBL`` was (a
+        # pre-summed constant would round differently).
+        self._tCL = spec.tCL
+        self._tCWL = spec.tCWL
+        self._tBL = spec.tBL
         self.vref_count = 0
         self.commands_issued = 0
         self.total_enqueued = 0
+        # Fused per-queue select closures (policies that support them):
+        # the batched hot loop calls these when no rank is refresh-
+        # draining, skipping the per-call rebinding of every stable
+        # object the incremental scheduler touches.
+        make_fused = getattr(self.policy, "make_fused", None)
+        self._fused_read = self._fused_write = None
+        if make_fused is not None:
+            self._fused_read = make_fused(self.read_queue, self.device, self.mitigation)
+            self._fused_write = make_fused(self.write_queue, self.device, self.mitigation)
+        # Bound invalidation endpoints for the per-command hot path
+        # (_issue_for_request): equivalent to _invalidate_bank, minus
+        # two method frames per issued command.
+        self._rq_cache_pop = self.read_queue.bank_cache.pop
+        self._rq_dirty_add = self.read_queue.dirty.add
+        self._wq_cache_pop = self.write_queue.bank_cache.pop
+        self._wq_dirty_add = self.write_queue.dirty.add
 
     # ------------------------------------------------------------------
     # Request injection (called by cores / the System).
@@ -170,7 +207,7 @@ class MemoryController:
         )
         if quota is None:
             return None
-        key = (request.thread, request.address.rank, request.address.bank)
+        key = (request.thread << 16) | request.bank_key
         if self._inflight.get(key, 0) < quota:
             return None
         return "quota"
@@ -187,7 +224,7 @@ class MemoryController:
         queue = self.write_queue if request.is_write else self.read_queue
         queue.push(request)
         self.total_enqueued += 1
-        key = (request.thread, request.address.rank, request.address.bank)
+        key = (request.thread << 16) | request.bank_key
         self._inflight[key] = self._inflight.get(key, 0) + 1
         self._inflight_per_thread[request.thread] = (
             self._inflight_per_thread.get(request.thread, 0) + 1
@@ -208,7 +245,7 @@ class MemoryController:
         reorderings, which can split one physical PRE+ACT pair across
         two requests.
         """
-        bank = self.device.bank(request.address.rank, request.address.bank)
+        bank = self.device.flat_banks[request.bank_key]
         if bank.open_row == request.address.row:
             request.service_class = ServiceClass.HIT
             stats.row_hits += 1
@@ -221,7 +258,7 @@ class MemoryController:
 
     def inflight_for(self, thread: int, rank: int, bank: int) -> int:
         """Current in-flight request count for a <thread, bank> pair."""
-        return self._inflight.get((thread, rank, bank), 0)
+        return self._inflight.get((thread << 16) | bank_key(rank, bank), 0)
 
     # ------------------------------------------------------------------
     # Dirty-bank tracking for the incremental scheduler.
@@ -253,55 +290,191 @@ class MemoryController:
         self.write_queue.invalidate_rank(rank_id)
 
     # ------------------------------------------------------------------
-    # Main scheduling step.
+    # Main scheduling step(s).
     # ------------------------------------------------------------------
     def step(self, now: float) -> float:
         """Issue at most one command at ``now``.
 
         Returns the next time the controller needs attention (``_NEVER``
         when it is completely idle, in which case the System wakes it on
-        the next arrival).
+        the next arrival).  One iteration of :meth:`run_until`; the
+        event loop uses the batched form, this single-step entry point
+        serves tests and tick-by-tick oracles.
         """
-        self.mitigation.on_time_advance(now)
-        for rank_id, bank_id, row in self.mitigation.drain_victim_refreshes():
-            self._vrefs.setdefault((rank_id, bank_id), deque()).append(row)
-            self._pending_vref_count += 1
-
-        # A future REF deadline is a wake source; an already-pending one
-        # is handled by the refresh steps below (whose own bank-timing
-        # estimates provide the wake time).  The common case is no rank
-        # overdue, decided by the earliest deadline alone.
-        due = self.refresh.earliest_due()
-        if due > now:
-            wake = due
-            blocked_ranks = _NO_RANKS
-        else:
-            wake = _NEVER
-            blocked_ranks = frozenset(
-                r for r in range(self.spec.ranks) if self.refresh.pending(r, now)
-            )
-
-        # 1. Auto-refresh steps for overdue ranks.
-        for rank_id in blocked_ranks:
-            issued, t = self._refresh_step(rank_id, now)
-            if issued:
-                return now + self.spec.tCK
-            wake = min(wake, t)
-
-        # 2. Victim refreshes from reactive mechanisms.
-        if self._pending_vref_count:
-            issued, t = self._vref_step(now, blocked_ranks)
-            if issued:
-                return now + self.spec.tCK
-            wake = min(wake, t)
-
-        # 3. Normal requests.
-        selection = self._select_request_command(now, blocked_ranks)
-        if selection.command is not None:
-            self._issue_for_request(selection.command, selection.request, now)
-            return now + self.spec.tCK
-        wake = min(wake, selection.next_ready)
+        _, wake = self.run_until(now, _peek_nothing, now)
         return wake
+
+    def next_event_time(self, now: float) -> float:
+        """The channel's quiescence horizon: the earliest future instant
+        at which this controller can make progress, folding the refresh
+        deadline, victim-refresh backlog and the scheduler's normative
+        ``Selection.next_ready`` into one time.  Returns ``now`` when a
+        command could issue immediately (or conservatively when victim
+        refreshes are pending), ``_NEVER`` when fully idle.
+        """
+        due = self.refresh.earliest
+        if due <= now or self._pending_vref_count:
+            return now
+        selection = self._select_request_command(now, _NO_RANKS)
+        if selection.command is not None:
+            return now
+        wake = selection.next_ready
+        return due if due < wake else wake
+
+    def run_until(self, now: float, peek, hard_limit: float) -> tuple[int, float]:
+        """Run scheduling steps starting at ``now``, leaping local time
+        from each step directly to the next, until the next step would
+        land at or past the next pending global event (``peek()``) or
+        beyond ``hard_limit`` (the warmup/deadline boundary, across
+        which the event loop must regain control).
+
+        Returns ``(steps, wake)``: how many scheduling steps executed
+        and the controller's next wake time (``_NEVER`` when idle).
+        The step *times* are exactly the wake times the event loop
+        would have delivered one-by-one — after a command issues the
+        next step runs one tCK later; an idle step leaps to the folded
+        quiescence horizon (refresh deadline, victim-refresh readiness,
+        ``Selection.next_ready``, mitigation ``advance_to`` horizon) —
+        so command streams are bit-identical to single-stepping and
+        only the event-queue round trips disappear.
+        """
+        mitigation = self.mitigation
+        refresh = self.refresh
+        vrefs = self._vrefs
+        tCK = self.spec.tCK
+        num_ranks = self.spec.ranks
+        config = self.config
+        drain_high = config.write_drain_high
+        drain_low = config.write_drain_low
+        read_items = self._read_items
+        write_items = self._write_items
+        read_queue = self.read_queue
+        write_queue = self.write_queue
+        device = self.device
+        policy_select = self.policy.select_raw
+        fused_read = self._fused_read
+        fused_write = self._fused_write
+        issue_for = self._issue_for_request
+        advance_to = mitigation.advance_to
+        pv = mitigation._pending_vrefs
+        draining = self._write_draining
+        horizon = self._mitig_horizon
+        t = now
+        steps = 0
+        while True:
+            steps += 1
+            if t >= horizon:
+                horizon = advance_to(t)
+            # Victim refreshes accumulate from on_activate (reactive
+            # mechanisms) as well as advance_to (PRoHIT's periodic
+            # ticks), so the hand-off runs every step, not only at
+            # horizon crossings.
+            if pv:
+                for rank_id, bank_id, row in pv:
+                    key = (rank_id, bank_id)
+                    queue = vrefs.get(key)
+                    if queue is None:
+                        vrefs[key] = deque((row,))
+                    else:
+                        queue.append(row)
+                self._pending_vref_count += len(pv)
+                pv.clear()
+
+            # A future REF deadline is a wake source; an already-pending
+            # one is handled by the refresh steps below (whose own
+            # bank-timing estimates provide the wake time).  The common
+            # case is no rank overdue, decided by the earliest deadline.
+            due = refresh.earliest
+            issued = False
+            if due > t:
+                wake = due
+                blocked_ranks = _NO_RANKS
+            else:
+                wake = _NEVER
+                blocked_ranks = frozenset(
+                    r for r in range(num_ranks) if refresh.pending(r, t)
+                )
+                # 1. Auto-refresh steps for overdue ranks.
+                for rank_id in blocked_ranks:
+                    done, w = self._refresh_step(rank_id, t)
+                    if done:
+                        issued = True
+                        break
+                    if w < wake:
+                        wake = w
+
+            # 2. Victim refreshes from reactive mechanisms.
+            if not issued and self._pending_vref_count:
+                done, w = self._vref_step(t, blocked_ranks)
+                if done:
+                    issued = True
+                elif w < wake:
+                    wake = w
+
+            # 3. Normal requests.  Inlined drain-mode + policy dispatch
+            # (keep in lockstep with _select_request_command, which
+            # serves the probe/oracle path): writes are served in
+            # batches — forced drain above the high watermark,
+            # opportunistic drain when reads are idle and a batch has
+            # accumulated.
+            if not issued:
+                writes_pending = len(write_items)
+                if writes_pending >= drain_high:
+                    draining = True
+                elif writes_pending <= drain_low:
+                    draining = False
+                fused = fused_read is not None and not blocked_ranks
+                if draining or (not read_items and writes_pending >= drain_low):
+                    if fused:
+                        cmd, req, ready = fused_write(t)
+                    else:
+                        cmd, req, ready = policy_select(
+                            write_queue, device, mitigation, t, blocked_ranks
+                        )
+                    if cmd is None:
+                        if fused:
+                            cmd, req, ready2 = fused_read(t)
+                        else:
+                            cmd, req, ready2 = policy_select(
+                                read_queue, device, mitigation, t, blocked_ranks
+                            )
+                        if ready2 < ready:
+                            ready = ready2
+                elif fused:
+                    cmd, req, ready = fused_read(t)
+                else:
+                    cmd, req, ready = policy_select(
+                        read_queue, device, mitigation, t, blocked_ranks
+                    )
+                if cmd is not None:
+                    issue_for(cmd, req, t)
+                    issued = True
+                elif ready < wake:
+                    wake = ready
+
+            if issued:
+                wake = t + tCK
+
+            # Batch continuation: the next step happens at ``wake``
+            # unless the event loop must regain control first — idle
+            # channel, warmup/deadline crossing, or a pending global
+            # event at or before the wake (same-instant events carry
+            # smaller sequence numbers and must drain first).
+            if wake >= _NEVER or wake > hard_limit:
+                break
+            if wake <= t:
+                # Defensive: a non-advancing wake re-fires through the
+                # event loop after same-instant peers, like the legacy
+                # single-step path did.
+                wake = t
+                break
+            limit = peek()
+            if limit is not None and wake >= limit:
+                break
+            t = wake
+        self._write_draining = draining
+        self._mitig_horizon = horizon
+        return steps, wake
 
     def busy(self) -> bool:
         """True while any request or victim refresh is pending."""
@@ -421,34 +594,38 @@ class MemoryController:
         self.device.issue(cmd, now)
         self.commands_issued += 1
 
-        if cmd.kind is CommandKind.ACT:
+        kind = cmd.kind
+        if kind is CommandKind.ACT:
             self.thread_stats[request.thread].activations += 1
             self.mitigation.on_activate(
                 cmd.rank, cmd.bank, cmd.row, request.thread, now
             )
-            # The row opened and the mitigation observed the ACT — both
-            # queues' cached decisions for this bank are void.
-            self._invalidate_bank(cmd.rank, cmd.bank)
-        elif cmd.kind is CommandKind.PRE:
-            self._invalidate_bank(cmd.rank, cmd.bank)
-        else:
+        elif kind is not CommandKind.PRE:
             self._complete_request(request, cmd, now)
-            self._invalidate_bank(cmd.rank, cmd.bank)
+        # The row-buffer state moved (and for ACT the mitigation
+        # observed it) — both queues' cached decisions for this bank
+        # are void.  Inlined _invalidate_bank: the command always
+        # targets the request's own bank here.
+        key = request.bank_key
+        self._rq_cache_pop(key, None)
+        self._rq_dirty_add(key)
+        self._wq_cache_pop(key, None)
+        self._wq_dirty_add(key)
 
     def _complete_request(self, request: Request, cmd: Command, now: float) -> None:
         """Retire a request whose column command just issued."""
         queue = self.write_queue if request.is_write else self.read_queue
         queue.remove(request)
-        key = (request.thread, request.address.rank, request.address.bank)
-        self._inflight[key] -= 1
-        self._inflight_per_thread[request.thread] -= 1
+        thread = request.thread
+        self._inflight[(thread << 16) | request.bank_key] -= 1
+        self._inflight_per_thread[thread] -= 1
         if cmd.kind is CommandKind.RD:
-            done = now + self.spec.tCL + self.spec.tBL
-            stats = self.thread_stats[request.thread]
+            done = now + self._tCL + self._tBL
+            stats = self.thread_stats[thread]
             stats.read_latency_sum += done - request.arrival
             stats.read_latency_count += 1
         else:
-            done = now + self.spec.tCWL + self.spec.tBL
+            done = now + self._tCWL + self._tBL
         request.complete_time = done
         if self.on_request_complete is not None:
             self.on_request_complete(request, done)

@@ -52,6 +52,7 @@ class RequestQueue:
         "expiry_heap",
         "heap_seq",
         "dirty",
+        "hot",
         "_next_seq",
     )
 
@@ -93,6 +94,24 @@ class RequestQueue:
         #: key here so a scheduling step walks the dirtied banks only,
         #: never the whole queue.  Drained by ``FrFcfsPolicy.select``.
         self.dirty: set[int] = set()
+        #: One-tuple bundle of every stable scheduler structure above:
+        #: the incremental select unpacks this once per call instead of
+        #: performing ten attribute loads.  All referenced objects are
+        #: mutated in place and never reassigned.
+        hit_heap, act_heap, pre_heap = self.wake_heaps
+        ready_hits, ready_acts, ready_pres = self.ready_heaps
+        self.hot = (
+            self.bank_cache,
+            self.by_bank,
+            self.dirty,
+            self.expiry_heap,
+            hit_heap,
+            act_heap,
+            pre_heap,
+            ready_hits,
+            ready_acts,
+            ready_pres,
+        )
         self._next_seq = 0
 
     @property

@@ -44,6 +44,11 @@ class RefreshManager:
             for r in range(spec.ranks)
         ]
         self.refreshes_issued = [0] * spec.ranks
+        #: Cached ``min(next_due)``, maintained on every REF issue so
+        #: the controller's hot loop reads one attribute instead of
+        #: recomputing the min every scheduling step (O(1) per epoch
+        #: rather than per step).
+        self.earliest = min(self.next_due)
 
     def pending(self, rank: int, now: float) -> bool:
         """True when rank ``rank`` has a REF due at or before ``now``."""
@@ -51,7 +56,7 @@ class RefreshManager:
 
     def earliest_due(self) -> float:
         """The soonest REF deadline across ranks."""
-        return min(self.next_due)
+        return self.earliest
 
     def on_ref_issued(self, rank: int, now: float) -> None:
         """Advance the deadline after a REF issues.
@@ -65,3 +70,4 @@ class RefreshManager:
         if self.next_due[rank] < now - 8 * self.interval:
             self.next_due[rank] = now
         self.refreshes_issued[rank] += 1
+        self.earliest = min(self.next_due)

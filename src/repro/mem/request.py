@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 
 from repro.dram.address import BANK_KEY_BITS, DecodedAddress
 
@@ -26,14 +25,16 @@ class ServiceClass(enum.Enum):
     CONFLICT = "conflict"  # different row open, PRE needed first
 
 
-@dataclass(slots=True, eq=False)
 class Request:
     """One cache-line memory request from a thread.
 
-    Requests compare by identity (``eq=False``): each models one
-    physical in-flight access, and queue removal relies on the
-    interpreter's identity fast path instead of a field-by-field
-    dataclass comparison over every scanned entry.
+    Requests compare by identity: each models one physical in-flight
+    access, and queue removal relies on the interpreter's identity fast
+    path instead of a field-by-field comparison over every scanned
+    entry.  A hand-written slotted class rather than a dataclass: a
+    core constructs one per LLC miss, and the dataclass ``__init__`` +
+    ``__post_init__`` pair costs a second Python call per request on
+    that path.
 
     ``address`` carries the decoded DRAM coordinates.  The controller
     fills in ``service_class`` when the request first receives a command
@@ -47,36 +48,62 @@ class Request:
     horizon, see ``MitigationMechanism.act_block_stable``).
     """
 
-    thread: int
-    kind: RequestKind
-    address: DecodedAddress
-    arrival: float
-    request_id: int = field(default_factory=lambda: next(_request_ids))
-    service_class: ServiceClass | None = None
-    complete_time: float | None = None
-    queue_seq: int = 0
-    blocked_until: float = 0.0
-    blocked_wake: float = 0.0
-    is_write: bool = field(init=False)
-    channel: int = field(init=False)
-    rank: int = field(init=False)
-    bank: int = field(init=False)
-    row: int = field(init=False)
-    col: int = field(init=False)
-    bank_key: int = field(init=False)
+    __slots__ = (
+        "thread",
+        "kind",
+        "address",
+        "arrival",
+        "request_id",
+        "service_class",
+        "complete_time",
+        "queue_seq",
+        "blocked_until",
+        "blocked_wake",
+        "is_write",
+        "channel",
+        "rank",
+        "bank",
+        "row",
+        "col",
+        "bank_key",
+    )
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        thread: int,
+        kind: RequestKind,
+        address: DecodedAddress,
+        arrival: float,
+        request_id: int | None = None,
+        service_class: ServiceClass | None = None,
+        complete_time: float | None = None,
+        queue_seq: int = 0,
+        blocked_until: float = 0.0,
+        blocked_wake: float = 0.0,
+    ) -> None:
+        self.thread = thread
+        self.kind = kind
+        self.address = address
+        self.arrival = arrival
+        self.request_id = next(_request_ids) if request_id is None else request_id
+        self.service_class = service_class
+        self.complete_time = complete_time
+        self.queue_seq = queue_seq
+        self.blocked_until = blocked_until
+        self.blocked_wake = blocked_wake
         # Denormalized plain attributes: these are read in the
         # scheduler's innermost loop (and the MemorySystem's channel
         # router), where a property or a nested dataclass hop per
         # access is measurable.
-        self.is_write = self.kind is RequestKind.WRITE
-        self.channel = self.address.channel
-        self.rank = self.address.rank
-        self.bank = self.address.bank
-        self.row = self.address.row
-        self.col = self.address.col
-        self.bank_key = (self.rank << BANK_KEY_BITS) | self.bank
+        self.is_write = kind is RequestKind.WRITE
+        rank = address.rank
+        bank = address.bank
+        self.channel = address.channel
+        self.rank = rank
+        self.bank = bank
+        self.row = address.row
+        self.col = address.col
+        self.bank_key = (rank << BANK_KEY_BITS) | bank
 
     def key(self) -> tuple[int, int]:
         """(rank, bank) the request targets."""

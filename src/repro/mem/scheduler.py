@@ -104,7 +104,7 @@ _NEVER = 1.0e30
 _HIT, _ROW, _IDLE = 0, 1, 2
 
 
-@dataclass
+@dataclass(slots=True)
 class Selection:
     """The policy's answer for one scheduling step.
 
@@ -154,6 +154,23 @@ class SchedulingPolicy:
         blocked_ranks: frozenset[int],
     ) -> Selection:
         raise NotImplementedError
+
+    def select_raw(
+        self,
+        requests,
+        device: DramDevice,
+        mitigation: MitigationMechanism,
+        now: float,
+        blocked_ranks: frozenset[int],
+    ) -> tuple[Command | None, Request | None, float]:
+        """Tuple-returning form of :meth:`select` for the controller's
+        batched hot loop: ``(command, request, next_ready)`` with the
+        exact same normative contents, minus the Selection allocation.
+        Policies may override with a native implementation; the default
+        wraps :meth:`select`.
+        """
+        sel = self.select(requests, device, mitigation, now, blocked_ranks)
+        return sel.command, sel.request, sel.next_ready
 
 
 def _examine_bank(
@@ -238,13 +255,28 @@ class FrFcfsPolicy(SchedulingPolicy):
         now: float,
         blocked_ranks: frozenset[int],
     ) -> Selection:
+        command, request, next_ready = self.select_raw(
+            requests, device, mitigation, now, blocked_ranks
+        )
+        return Selection(command, request, next_ready)
+
+    def select_raw(
+        self,
+        requests,
+        device: DramDevice,
+        mitigation: MitigationMechanism,
+        now: float,
+        blocked_ranks: frozenset[int],
+    ) -> tuple[Command | None, Request | None, float]:
         if not isinstance(requests, RequestQueue):
-            return _naive_select(requests, device, mitigation, now, blocked_ranks)
+            sel = _naive_select(requests, device, mitigation, now, blocked_ranks)
+            return sel.command, sel.request, sel.next_ready
         if blocked_ranks or len(device.ranks) != 1:
             # Refresh-draining windows (and hypothetical multi-rank
             # devices, whose per-rank ACT constraint does not factor
             # out of the class minima) take the every-bank scan.
-            return self._scan_select(requests, device, mitigation, now, blocked_ranks)
+            sel = self._scan_select(requests, device, mitigation, now, blocked_ranks)
+            return sel.command, sel.request, sel.next_ready
 
         # Incremental path: one step touches only (a) banks dirtied
         # since the last step, (b) banks whose verdict horizon passed,
@@ -258,22 +290,28 @@ class FrFcfsPolicy(SchedulingPolicy):
         # heap prefix.  Heap items are lazy: an item is dead when its
         # entry is no longer the bank's cached one; dead tops pop on
         # sight, so a live top is the exact class minimum.
-        cache = requests.bank_cache
-        by_bank = requests.by_bank
-        spec = device.spec
-        bus_free = device.bus_free
-        rd_bus_ready = bus_free - spec.tCL
-        wr_bus_ready = bus_free - spec.tCWL
+        (
+            cache,
+            by_bank,
+            dirty,
+            expiry_heap,
+            hit_heap,
+            act_heap,
+            pre_heap,
+            ready_hits,
+            ready_acts,
+            ready_pres,
+        ) = requests.hot
+        cache_get = cache.get
+        flat_banks, rank0, tCL, tCWL = device.select_hot
+        bus_free = device._bus_free
+        rd_bus_ready = bus_free - tCL
+        wr_bus_ready = bus_free - tCWL
         stable = _NEVER if mitigation.never_blocks else mitigation.act_block_stable
         act_allowed_at = mitigation.act_allowed_at
-        flat_banks = device.flat_banks
-        rank0 = device.ranks[0]
         rank_t = -1.0  # lazy: rank ACT readiness at most once per step
 
-        RD = CommandKind.RD
-        WR = CommandKind.WR
         ACT = CommandKind.ACT
-        PRE = CommandKind.PRE
         next_ready = _NEVER
         best_hit: Request | None = None
         best_hit_seq = -1
@@ -281,16 +319,13 @@ class FrFcfsPolicy(SchedulingPolicy):
         best_row_seq = -1
         best_row_kind = None
         best_row_row = -1
-        hit_heap, act_heap, pre_heap = requests.wake_heaps
         heap_seq = requests.heap_seq
-        expiry_heap = requests.expiry_heap
 
         # 1. Re-examine dirtied banks; 2. re-examine banks whose
         # verdict horizon has passed.  Fresh entries go to the cache
         # and heaps; uncacheable decisions (horizon already passed —
         # mechanisms declaring no stability) are kept aside for inline
         # evaluation and the bank stays dirty.
-        dirty = requests.dirty
         uncached: list | None = None
         redirty: list | None = None
         if dirty:
@@ -332,7 +367,7 @@ class FrFcfsPolicy(SchedulingPolicy):
         while expiry_heap:
             item = expiry_heap[0]
             key = item[2]
-            if cache.get(key) is not item[3]:
+            if cache_get(key) is not item[3]:
                 heappop(expiry_heap)
                 continue
             if item[0] > now:
@@ -387,7 +422,9 @@ class FrFcfsPolicy(SchedulingPolicy):
                 t = entry[6]
                 if entry[2] is ACT:
                     if rank_t < 0.0:
-                        rank_t = rank0.earliest_act(now)
+                        rank_t = rank0._act_ready
+                        if rank_t < now:
+                            rank_t = now
                     if rank_t > t:
                         t = rank_t
                 if tag == _IDLE:
@@ -417,12 +454,10 @@ class FrFcfsPolicy(SchedulingPolicy):
         # per-item scan: with any locally-ready item the shared scalar
         # is the binding constraint, without one it is max(shared,
         # oldest local time).
-        ready_hits, ready_acts, ready_pres = requests.ready_heaps
-
         # --- hits (shared scalar: data-bus occupancy) ---
         while hit_heap:
             item = hit_heap[0]
-            if cache.get(item[2]) is not item[3]:
+            if cache_get(item[2]) is not item[3]:
                 heappop(hit_heap)
                 continue
             if item[0] > now:
@@ -430,7 +465,7 @@ class FrFcfsPolicy(SchedulingPolicy):
             heappop(hit_heap)
             entry = item[3]
             heappush(ready_hits, (entry[1].queue_seq, item[2], entry))
-        while ready_hits and cache.get(ready_hits[0][1]) is not ready_hits[0][2]:
+        while ready_hits and cache_get(ready_hits[0][1]) is not ready_hits[0][2]:
             heappop(ready_hits)
         if ready_hits:
             req = ready_hits[0][2][1]
@@ -458,7 +493,7 @@ class FrFcfsPolicy(SchedulingPolicy):
         # --- ACT deciders (shared scalar: rank tRRD/tFAW) ---
         while act_heap:
             item = act_heap[0]
-            if cache.get(item[2]) is not item[3]:
+            if cache_get(item[2]) is not item[3]:
                 heappop(act_heap)
                 continue
             if item[0] > now:
@@ -468,11 +503,13 @@ class FrFcfsPolicy(SchedulingPolicy):
             # A live _IDLE entry cannot come due (its expiry precedes
             # its wake), so migrating entries are _ROW deciders.
             heappush(ready_acts, (entry[1].queue_seq, item[2], entry))
-        while ready_acts and cache.get(ready_acts[0][1]) is not ready_acts[0][2]:
+        while ready_acts and cache_get(ready_acts[0][1]) is not ready_acts[0][2]:
             heappop(ready_acts)
         if ready_acts:
             if rank_t < 0.0:
-                rank_t = rank0.earliest_act(now)
+                rank_t = rank0._act_ready
+                if rank_t < now:
+                    rank_t = now
             if rank_t > now:
                 # Rank ACT budget exhausted: it alone gates the class.
                 if rank_t < next_ready:
@@ -489,7 +526,9 @@ class FrFcfsPolicy(SchedulingPolicy):
         if act_heap:
             t = act_heap[0][0]
             if rank_t < 0.0:
-                rank_t = rank0.earliest_act(now)
+                rank_t = rank0._act_ready
+                if rank_t < now:
+                    rank_t = now
             if rank_t > t:
                 t = rank_t
             if t < next_ready:
@@ -498,7 +537,7 @@ class FrFcfsPolicy(SchedulingPolicy):
         # --- PRE deciders (no shared scalar) ---
         while pre_heap:
             item = pre_heap[0]
-            if cache.get(item[2]) is not item[3]:
+            if cache_get(item[2]) is not item[3]:
                 heappop(pre_heap)
                 continue
             if item[0] > now:
@@ -506,7 +545,7 @@ class FrFcfsPolicy(SchedulingPolicy):
             heappop(pre_heap)
             entry = item[3]
             heappush(ready_pres, (entry[1].queue_seq, item[2], entry))
-        while ready_pres and cache.get(ready_pres[0][1]) is not ready_pres[0][2]:
+        while ready_pres and cache_get(ready_pres[0][1]) is not ready_pres[0][2]:
             heappop(ready_pres)
         if ready_pres:
             seq = ready_pres[0][0]
@@ -515,7 +554,7 @@ class FrFcfsPolicy(SchedulingPolicy):
             if best_row is None or seq < best_row_seq:
                 best_row = req
                 best_row_seq = seq
-                best_row_kind = PRE
+                best_row_kind = CommandKind.PRE
                 best_row_row = entry[3]
         if pre_heap:
             t = pre_heap[0][0]
@@ -525,16 +564,299 @@ class FrFcfsPolicy(SchedulingPolicy):
         # Column commands (row-buffer hits) always outrank row commands.
         if best_hit is not None:
             req = best_hit
-            kind = WR if req.is_write else RD
-            return Selection(
-                Command(kind, req.rank, req.bank, req.row, req.col), req, now
-            )
+            kind = CommandKind.WR if req.is_write else CommandKind.RD
+            return Command(kind, req.rank, req.bank, req.row, req.col), req, now
         if best_row is not None:
             req = best_row
-            return Selection(
-                Command(best_row_kind, req.rank, req.bank, best_row_row), req, now
-            )
-        return Selection(None, None, next_ready)
+            return Command(best_row_kind, req.rank, req.bank, best_row_row), req, now
+        return None, None, next_ready
+
+    def make_fused(self, requests, device, mitigation):
+        """Specialize the incremental :meth:`select_raw` path for one
+        fixed (queue, device, mitigation) triple.
+
+        Returns ``fused(now) -> (command, request, next_ready)`` with
+        every stable object — the queue's cache/heap bundle, the flat
+        bank table, the mitigation's gate — prebound as closure cells,
+        or None when the fast path does not apply (plain-list queue,
+        multi-rank device).  The controller calls it only with no
+        refresh-draining ranks; mutable scalars (bus occupancy, verdict
+        stability, heap sequence) are still read live each call.
+
+        The body is :meth:`select_raw`'s incremental path verbatim —
+        keep the two in lockstep — with one extra elision: mitigation
+        stability state is only consulted when some bank actually needs
+        re-examination (dirty, or an expiry has come due).
+        """
+        if not isinstance(requests, RequestQueue) or len(device.ranks) != 1:
+            return None
+        (
+            cache,
+            by_bank,
+            dirty,
+            expiry_heap,
+            hit_heap,
+            act_heap,
+            pre_heap,
+            ready_hits,
+            ready_acts,
+            ready_pres,
+        ) = requests.hot
+        cache_get = cache.get
+        cache_pop = cache.pop
+        by_bank_get = by_bank.get
+        flat_banks, rank0, tCL, tCWL = device.select_hot
+        never_blocks = mitigation.never_blocks
+        act_allowed_at = mitigation.act_allowed_at
+        examine = _examine_bank
+        heap_push = heappush
+        heap_pop = heappop
+        NEVER = _NEVER
+        HIT = _HIT
+        IDLE = _IDLE
+        ACT = CommandKind.ACT
+        PRE = CommandKind.PRE
+        RD = CommandKind.RD
+        WR = CommandKind.WR
+        make_command = Command
+
+        def fused(now: float):
+            bus_free = device._bus_free
+            rd_bus_ready = bus_free - tCL
+            wr_bus_ready = bus_free - tCWL
+            next_ready = NEVER
+            best_hit = None
+            best_hit_seq = -1
+            best_row = None
+            best_row_seq = -1
+            best_row_kind = None
+            best_row_row = -1
+            rank_t = -1.0  # lazy: rank ACT readiness at most once per step
+
+            uncached = None
+            if dirty or (expiry_heap and expiry_heap[0][0] <= now):
+                stable = NEVER if never_blocks else mitigation.act_block_stable
+                heap_seq = requests.heap_seq
+                redirty = None
+                if dirty:
+                    for key in dirty:
+                        bank_requests = by_bank_get(key)
+                        if bank_requests is None:
+                            cache_pop(key, None)
+                            continue
+                        entry = examine(
+                            bank_requests, flat_banks[key], now,
+                            act_allowed_at, stable, False,
+                        )
+                        if entry[4] > now:
+                            cache[key] = entry
+                            heap_seq += 1
+                            item = (entry[6], heap_seq, key, entry)
+                            tag = entry[0]
+                            if tag == HIT:
+                                heap_push(hit_heap, item)
+                            elif entry[2] is ACT:
+                                heap_push(act_heap, item)
+                            else:
+                                heap_push(pre_heap, item)
+                            if entry[4] < NEVER:
+                                heap_push(expiry_heap, (entry[4], heap_seq, key, entry))
+                        else:
+                            cache_pop(key, None)
+                            if uncached is None:
+                                uncached = []
+                                redirty = []
+                            uncached.append(entry)
+                            redirty.append(key)
+                    dirty.clear()
+                    if redirty is not None:
+                        dirty.update(redirty)
+                while expiry_heap:
+                    item = expiry_heap[0]
+                    key = item[2]
+                    if cache_get(key) is not item[3]:
+                        heap_pop(expiry_heap)
+                        continue
+                    if item[0] > now:
+                        break
+                    heap_pop(expiry_heap)
+                    entry = examine(
+                        by_bank[key], flat_banks[key], now,
+                        act_allowed_at, stable, False,
+                    )
+                    if entry[4] > now:
+                        cache[key] = entry
+                        heap_seq += 1
+                        hitem = (entry[6], heap_seq, key, entry)
+                        tag = entry[0]
+                        if tag == HIT:
+                            heap_push(hit_heap, hitem)
+                        elif entry[2] is ACT:
+                            heap_push(act_heap, hitem)
+                        else:
+                            heap_push(pre_heap, hitem)
+                        if entry[4] < NEVER:
+                            heap_push(expiry_heap, (entry[4], heap_seq, key, entry))
+                    else:
+                        del cache[key]
+                        dirty.add(key)
+                        if uncached is None:
+                            uncached = []
+                        uncached.append(entry)
+                requests.heap_seq = heap_seq
+
+            if uncached is not None:
+                for entry in uncached:
+                    tag = entry[0]
+                    if tag == HIT:
+                        req = entry[1]
+                        t = entry[6]
+                        bus = wr_bus_ready if req.is_write else rd_bus_ready
+                        if bus > t:
+                            t = bus
+                        if t <= now:
+                            seq = req.queue_seq
+                            if best_hit is None or seq < best_hit_seq:
+                                best_hit = req
+                                best_hit_seq = seq
+                        elif t < next_ready:
+                            next_ready = t
+                        continue
+                    t = entry[6]
+                    if entry[2] is ACT:
+                        if rank_t < 0.0:
+                            rank_t = rank0._act_ready
+                            if rank_t < now:
+                                rank_t = now
+                        if rank_t > t:
+                            t = rank_t
+                    if tag == IDLE:
+                        if t < next_ready:
+                            next_ready = t
+                        continue
+                    if t > now:
+                        if t < next_ready:
+                            next_ready = t
+                        continue
+                    req = entry[1]
+                    seq = req.queue_seq
+                    if best_row is None or seq < best_row_seq:
+                        best_row = req
+                        best_row_seq = seq
+                        best_row_kind = entry[2]
+                        best_row_row = entry[3]
+
+            # --- hits (shared scalar: data-bus occupancy) ---
+            while hit_heap:
+                item = hit_heap[0]
+                if cache_get(item[2]) is not item[3]:
+                    heap_pop(hit_heap)
+                    continue
+                if item[0] > now:
+                    break
+                heap_pop(hit_heap)
+                entry = item[3]
+                heap_push(ready_hits, (entry[1].queue_seq, item[2], entry))
+            while ready_hits and cache_get(ready_hits[0][1]) is not ready_hits[0][2]:
+                heap_pop(ready_hits)
+            if ready_hits:
+                req = ready_hits[0][2][1]
+                bus = wr_bus_ready if req.is_write else rd_bus_ready
+                if bus > now:
+                    if bus < next_ready:
+                        next_ready = bus
+                else:
+                    seq = ready_hits[0][0]
+                    if best_hit is None or seq < best_hit_seq:
+                        best_hit = req
+                        best_hit_seq = seq
+            if hit_heap:
+                item = hit_heap[0]  # live: dead tops popped above
+                t = item[0]
+                bus = wr_bus_ready if item[3][1].is_write else rd_bus_ready
+                if bus > t:
+                    t = bus
+                if t < next_ready:
+                    next_ready = t
+
+            # --- ACT deciders (shared scalar: rank tRRD/tFAW) ---
+            while act_heap:
+                item = act_heap[0]
+                if cache_get(item[2]) is not item[3]:
+                    heap_pop(act_heap)
+                    continue
+                if item[0] > now:
+                    break
+                heap_pop(act_heap)
+                entry = item[3]
+                heap_push(ready_acts, (entry[1].queue_seq, item[2], entry))
+            while ready_acts and cache_get(ready_acts[0][1]) is not ready_acts[0][2]:
+                heap_pop(ready_acts)
+            if ready_acts:
+                if rank_t < 0.0:
+                    rank_t = rank0._act_ready
+                    if rank_t < now:
+                        rank_t = now
+                if rank_t > now:
+                    if rank_t < next_ready:
+                        next_ready = rank_t
+                else:
+                    seq = ready_acts[0][0]
+                    entry = ready_acts[0][2]
+                    req = entry[1]
+                    if best_row is None or seq < best_row_seq:
+                        best_row = req
+                        best_row_seq = seq
+                        best_row_kind = ACT
+                        best_row_row = entry[3]
+            if act_heap:
+                t = act_heap[0][0]
+                if rank_t < 0.0:
+                    rank_t = rank0._act_ready
+                    if rank_t < now:
+                        rank_t = now
+                if rank_t > t:
+                    t = rank_t
+                if t < next_ready:
+                    next_ready = t
+
+            # --- PRE deciders (no shared scalar) ---
+            while pre_heap:
+                item = pre_heap[0]
+                if cache_get(item[2]) is not item[3]:
+                    heap_pop(pre_heap)
+                    continue
+                if item[0] > now:
+                    break
+                heap_pop(pre_heap)
+                entry = item[3]
+                heap_push(ready_pres, (entry[1].queue_seq, item[2], entry))
+            while ready_pres and cache_get(ready_pres[0][1]) is not ready_pres[0][2]:
+                heap_pop(ready_pres)
+            if ready_pres:
+                seq = ready_pres[0][0]
+                entry = ready_pres[0][2]
+                req = entry[1]
+                if best_row is None or seq < best_row_seq:
+                    best_row = req
+                    best_row_seq = seq
+                    best_row_kind = PRE
+                    best_row_row = entry[3]
+            if pre_heap:
+                t = pre_heap[0][0]
+                if t < next_ready:
+                    next_ready = t
+
+            if best_hit is not None:
+                req = best_hit
+                kind = WR if req.is_write else RD
+                return make_command(kind, req.rank, req.bank, req.row, req.col), req, now
+            if best_row is not None:
+                req = best_row
+                return make_command(best_row_kind, req.rank, req.bank, best_row_row), req, now
+            return None, None, next_ready
+
+        return fused
 
     def _scan_select(
         self,
@@ -550,6 +872,7 @@ class FrFcfsPolicy(SchedulingPolicy):
         same Selection-contract wakes."""
         by_bank = requests.by_bank
         cache = requests.bank_cache
+        cache_get = cache.get
         spec = device.spec
         ranks = device.ranks
         flat_banks = device.flat_banks
@@ -577,7 +900,7 @@ class FrFcfsPolicy(SchedulingPolicy):
         key_bits = BANK_KEY_BITS
         for key, bank_requests in by_bank.items():
             rank_blocked = any_rank_blocked and (key >> key_bits) in blocked_ranks
-            entry = cache.get(key)
+            entry = cache_get(key)
             if entry is None or now >= entry[4]:
                 # Dirty or expired: re-walk the bank.  Refresh-draining
                 # ranks accept no row commands and their requests are

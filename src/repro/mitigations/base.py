@@ -39,6 +39,8 @@ from typing import Callable
 from repro.dram.spec import DramSpec
 from repro.utils.rng import DeterministicRng
 
+_FOREVER = float("inf")
+
 # (rank, bank, logical_row) to refresh.
 VictimRefresh = tuple[int, int, int]
 
@@ -105,6 +107,17 @@ class MitigationMechanism:
         # forever: the incremental FR-FCFS policy checks this flag once
         # per step and caches bank decisions until the bank is dirtied.
         self.never_blocks = type(self).act_allowed_at is MitigationMechanism.act_allowed_at
+        # Mechanisms that inherit the base (no-op) on_time_advance have
+        # no time-driven state at all: their default quiescence horizon
+        # is "never".  A subclass that overrides on_time_advance without
+        # also overriding advance_to falls back to the conservative
+        # horizon (-inf), which makes the controller call advance_to on
+        # every scheduling step — the legacy per-step cadence.
+        self._default_horizon = (
+            _FOREVER
+            if type(self).on_time_advance is MitigationMechanism.on_time_advance
+            else -_FOREVER
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -115,6 +128,28 @@ class MitigationMechanism:
 
     def on_time_advance(self, now: float) -> None:
         """Periodic maintenance hook, called once per controller step."""
+
+    def advance_to(self, now: float) -> float:
+        """Advance time-driven state to ``now`` and return the
+        **quiescence horizon**: the next instant at which this
+        mechanism's state can change through the passage of time alone
+        (epoch/CBF rotation, window rollover, periodic victim-refresh
+        emission, a coupled governor's review deadline).
+
+        The contract: until the returned time, calling this hook again
+        is a no-op — verdicts, quotas and victim-refresh queues can only
+        change through commands the controller itself issues (which it
+        observes via :meth:`on_activate`).  The controller therefore
+        skips the call entirely while leaping batches of scheduling
+        steps, and re-invokes it at the first step at or past the
+        horizon.  Horizons may be conservative (early) but never late.
+
+        The default advances via :meth:`on_time_advance` and returns
+        +inf for mechanisms with no time-driven state; subclasses with
+        periodic state override this to report their next deadline.
+        """
+        self.on_time_advance(now)
+        return self._default_horizon
 
     # ------------------------------------------------------------------
     # Proactive throttling.
@@ -160,8 +195,11 @@ class MitigationMechanism:
         """Return and clear the pending victim-refresh list."""
         if not self._pending_vrefs:
             return []
-        out = self._pending_vrefs
-        self._pending_vrefs = []
+        # Copy-and-clear rather than swap: the controller's batched hot
+        # loop holds a direct reference to this list, so the object must
+        # stay stable for the mechanism's lifetime.
+        out = list(self._pending_vrefs)
+        self._pending_vrefs.clear()
         return out
 
     # ------------------------------------------------------------------

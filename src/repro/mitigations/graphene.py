@@ -69,6 +69,10 @@ class Graphene(MitigationMechanism):
             self._spill.clear()
             self._next_reset += self.context.spec.tREFW
 
+    def advance_to(self, now: float) -> float:
+        self.on_time_advance(now)
+        return self._next_reset
+
     def on_activate(self, rank: int, bank: int, row: int, thread: int, now: float) -> None:
         key = (rank, bank)
         table = self._tables.setdefault(key, {})

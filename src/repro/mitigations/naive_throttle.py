@@ -51,6 +51,10 @@ class NaiveThrottling(MitigationMechanism):
             self._last_act.clear()
             self._window_end += self.context.spec.tREFW
 
+    def advance_to(self, now: float) -> float:
+        self.on_time_advance(now)
+        return self._window_end
+
     def act_allowed_at(self, rank: int, bank: int, row: int, thread: int, now: float) -> float:
         key = (rank, bank, row)
         if self.static_delay:

@@ -83,3 +83,7 @@ class ProHit(MitigationMechanism):
                     self.queue_victim_refresh(rank, bank, victim)
                     self.refreshes_injected += 1
             self._next_tick += self.context.spec.tREFI
+
+    def advance_to(self, now: float) -> float:
+        self.on_time_advance(now)
+        return self._next_tick

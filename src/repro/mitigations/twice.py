@@ -68,6 +68,10 @@ class TWiCe(MitigationMechanism):
                     del table[row]
             self._next_prune += self.context.spec.tREFI
 
+    def advance_to(self, now: float) -> float:
+        self.on_time_advance(now)
+        return self._next_prune
+
     def on_activate(self, rank: int, bank: int, row: int, thread: int, now: float) -> None:
         table = self._tables.setdefault((rank, bank), {})
         entry = table.setdefault(row, _Entry())

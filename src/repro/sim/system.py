@@ -40,6 +40,12 @@ _NEVER = 1.0e30
 class System:
     """A complete simulated machine: cores + N channel shards."""
 
+    #: When True, every controller wake runs exactly one scheduling step
+    #: (the legacy tick-by-tick cadence) instead of a quiescence-horizon
+    #: batch.  Tests flip this to build a tick-by-tick oracle and check
+    #: that batched runs are bit-identical.
+    single_step = False
+
     def __init__(
         self,
         config: SystemConfig,
@@ -122,6 +128,11 @@ class System:
         ]
         self._now = 0.0
         self.events_processed = 0
+        # Controller batching plumbing: a bound peek so each batch
+        # iteration can check the next pending global event, and the
+        # warmup/deadline boundary batches must never leap across.
+        self._peek = self._events.peek_time
+        self._hard_limit = _NEVER
         # Completion tracking: cores with an instruction target are
         # "required"; a counter updated when a core stamps finish_time
         # replaces an all-cores scan per event in the main loop.
@@ -151,7 +162,19 @@ class System:
         if self._ctrl_scheduled[channel] != now:
             return  # stale wake-up, superseded by an earlier one
         self._ctrl_scheduled[channel] = None
-        wake = self.controllers[channel].step(now)
+        if self.single_step:
+            wake = self.controllers[channel].step(now)
+        else:
+            # Quiescence-horizon batch: the controller leaps through as
+            # many scheduling steps as it can before the next pending
+            # global event (or the warmup/deadline boundary), then
+            # reports its next wake.  Each executed step counts as one
+            # processed event, like the per-step wakes it replaces.
+            steps, wake = self.controllers[channel].run_until(
+                now, self._peek, self._hard_limit
+            )
+            if steps > 1:
+                self.events_processed += steps - 1
         if wake < _NEVER:
             self._schedule_ctrl(channel, max(wake, now))
 
@@ -263,6 +286,15 @@ class System:
             self._events.push(self.governor.start(0.0), self._fire_governor)
 
         measure_start = warmup_ns if warming else 0.0
+        # Controller batches must not leap across the warmup boundary
+        # (counters reset there) or the measurement deadline; within a
+        # phase they may run ahead of the event loop freely.
+        if warming:
+            self._hard_limit = warmup_ns
+        elif max_time_ns is not None:
+            self._hard_limit = measure_start + max_time_ns
+        else:
+            self._hard_limit = _NEVER
         events = self._events
         pop_at = events.pop_at
         # The loop runs once per *instant* rather than once per event:
@@ -288,6 +320,11 @@ class System:
                 if warming and next_time > warmup_ns:
                     self._reset_measurement(warmup_ns, targets)
                     warming = False
+                    self._hard_limit = (
+                        measure_start + max_time_ns
+                        if max_time_ns is not None
+                        else _NEVER
+                    )
                     continue
                 if (
                     not warming

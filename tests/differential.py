@@ -31,8 +31,11 @@ governor (``blockhammer-os``'s mechanism-coupled kill governor on even
 seeds, a system-level kill governor on odd seeds, plus a system-level
 migrate/kill governor above both) — governor actions (deschedules,
 channel re-pins) reshape the command stream mid-run and must do so
-identically under both scheduler policies.  Seeds vary both the
-application selection and every RNG stream in the simulation.
+identically under both scheduler policies.  ``reactive`` rotates the
+victim-refresh mechanisms MRLoc, CBT, and TWiCe (seed % 3) against an
+attack mix, covering every registered mechanism in the time-advance
+contract.  Seeds vary both the application selection and every RNG
+stream in the simulation.
 """
 
 from __future__ import annotations
@@ -45,7 +48,7 @@ from repro.mem.scheduler import FrFcfsPolicy, ReferenceFrFcfsPolicy, SchedulingP
 from repro.os.spec import GovernorSpec
 from repro.workloads.mixes import WorkloadMix, attack_mixes, benign_mixes
 
-SCENARIOS = ("benign", "attack", "mixed", "governed")
+SCENARIOS = ("benign", "attack", "mixed", "governed", "reactive")
 
 #: Mechanism exercised per scenario, rotated by seed so the sweep covers
 #: proactive throttling (blockhammer — the mechanism whose verdicts the
@@ -54,11 +57,16 @@ SCENARIOS = ("benign", "attack", "mixed", "governed")
 #: blocker that declares *no* verdict stability (naive-throttle,
 #: ``act_block_stable = -inf``) — the scheduler's uncacheable per-step
 #: re-examination path — and the governor-carrying ``blockhammer-os``.
+#: The ``reactive`` scenario rotates the remaining registered
+#: mechanisms (MRLoc, CBT, TWiCe): all three queue victim refreshes
+#: through the controller's time-advance contract and must stay
+#: bit-identical under quiescence-horizon batching.
 _MECHANISMS = {
     "benign": ("blockhammer", "none"),
     "attack": ("blockhammer", "naive-throttle"),
     "mixed": ("graphene", "para"),
     "governed": ("blockhammer-os", "blockhammer"),
+    "reactive": ("mrloc", "cbt", "twice"),
 }
 
 #: System-level governor per scenario (None = ungoverned), rotated by
@@ -94,6 +102,10 @@ _MECHANISM_KWARGS = {
 #: running during warmup, as a real OS would keep polling).
 _SCENARIO_KWARGS = {
     "governed": {"scale": 512.0, "instructions": 2000, "warmup_ns": 30_000.0},
+    # Reactive mechanisms must actually *fire* victim refreshes inside
+    # the short differential runs (that is the path batching must not
+    # reorder); at scale 1024 all three rotation members do.
+    "reactive": {"scale": 1024.0},
 }
 
 
@@ -107,11 +119,14 @@ def scenario_mix(scenario: str, seed: int) -> WorkloadMix:
         return attack_mixes(1, threads=4, master_seed=7000 + seed)[0]
     if scenario == "governed":
         return attack_mixes(1, threads=3, master_seed=5000 + seed)[0]
+    if scenario == "reactive":
+        return attack_mixes(1, threads=2, master_seed=9000 + seed)[0]
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
 def scenario_mechanism(scenario: str, seed: int) -> str:
-    return _MECHANISMS[scenario][seed % 2]
+    options = _MECHANISMS[scenario]
+    return options[seed % len(options)]
 
 
 def scenario_governor(scenario: str, seed: int) -> GovernorSpec | None:

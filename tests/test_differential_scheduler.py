@@ -9,10 +9,11 @@ energy (see ``tests/differential.py`` for the harness and for why
 ``events_processed`` alone is excluded).
 
 The mechanism rotates with the scenario/seed (BlockHammer, the
-unprotected baseline, Graphene, PARA, naive-throttle, blockhammer-os)
-so proactive verdict caching, reactive victim refreshes, the plain
-timing-only path, and the no-stability-declared per-step re-query path
-are all differentially covered.  The ``governed`` scenario additionally
+unprotected baseline, Graphene, PARA, naive-throttle, blockhammer-os,
+MRLoc, CBT, TWiCe) so proactive verdict caching, reactive victim
+refreshes, the plain timing-only path, and the no-stability-declared
+per-step re-query path are all differentially covered — every
+mechanism in the registry participates in the time-advance contract.  The ``governed`` scenario additionally
 runs an OS governor above the memory system (mechanism-coupled kill in
 ``blockhammer-os`` on even seeds, plus a system-level migrate/kill
 governor): governor actions reshape the command stream mid-run
@@ -43,6 +44,17 @@ from repro.mem.scheduler import FrFcfsPolicy, ReferenceFrFcfsPolicy
 def test_fast_policy_matches_reference(scenario, seed, channels):
     fast, ref = run_pair(scenario, seed, channels)
     assert_equivalent(fast, ref)
+
+
+def test_reactive_scenario_covers_twice():
+    """The parametrized sweep's seeds {0, 1} reach mrloc and cbt in the
+    ``reactive`` rotation; seed 2 pins TWiCe — with an assertion that
+    the run actually exercised the victim-refresh path batching must
+    preserve (the whole point of covering reactive mechanisms)."""
+    fast, ref = run_pair("reactive", 2, 1)
+    assert fast.result["mitigation"] == "twice"
+    assert_equivalent(fast, ref)
+    assert fast.result["victim_refreshes"] > 0
 
 
 def test_commands_were_actually_captured():

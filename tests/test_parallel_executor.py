@@ -132,6 +132,53 @@ def test_mix_sweep_serial_vs_parallel_identical(tiny_hcfg):
 
 
 # ----------------------------------------------------------------------
+# Interrupted sweeps still flush a final progress report.
+# ----------------------------------------------------------------------
+def test_interrupt_flushes_final_report_before_propagating(
+    tiny_hcfg, monkeypatch, capsys
+):
+    """Ctrl-C mid-sweep under ``--progress`` must print the final
+    SweepReport (how many jobs are already checkpointed, so the user
+    knows a resume is warm) *before* the KeyboardInterrupt propagates."""
+    import repro.harness.parallel as parallel
+
+    real = parallel.execute_job
+    executed = []
+
+    def fake(job):
+        if executed:
+            raise KeyboardInterrupt
+        executed.append(job.key)
+        return real(job)
+
+    monkeypatch.setattr(parallel, "execute_job", fake)
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    jobs = [
+        single_job(tiny_hcfg, "403.gcc", "none"),
+        single_job(tiny_hcfg, "403.gcc", "blockhammer"),
+    ]
+    with pytest.raises(KeyboardInterrupt):
+        run_jobs(jobs, workers=1, cache=False)
+    err = capsys.readouterr().err
+    assert "interrupted: 1 completed job(s) checkpointed" in err
+    assert "sweep: 2 job(s) — 0 cached, 1 executed" in err
+
+
+def test_interrupt_is_silent_without_progress(tiny_hcfg, monkeypatch, capsys):
+    """Without ``--progress`` the interrupt propagates without extra
+    output (quiet mode stays quiet)."""
+    import repro.harness.parallel as parallel
+
+    monkeypatch.setattr(
+        parallel, "execute_job", lambda job: (_ for _ in ()).throw(KeyboardInterrupt)
+    )
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    with pytest.raises(KeyboardInterrupt):
+        run_jobs([single_job(tiny_hcfg, "403.gcc", "none")], workers=1, cache=False)
+    assert "interrupted" not in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # Tier-1 smoke: one tiny sweep through the parallel path.
 # ----------------------------------------------------------------------
 @pytest.mark.perf_smoke
