@@ -65,6 +65,28 @@ def _hcfg():
     return HarnessConfig(**CANONICAL)
 
 
+def provenance() -> dict:
+    """Where and how this report was produced: numbers in
+    ``BENCH_speed.json`` are only comparable across commits when the
+    interpreter and host class match, so stamp them."""
+    import platform
+
+    head = subprocess.run(
+        ["git", "rev-parse", "HEAD"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": head.stdout.strip() or None,
+    }
+
+
 def measure_sweep(num_mixes: int, workers: int, cache=None):
     """(elapsed seconds, rows) for the canonical Fig. 5 sweep."""
     from repro.harness.experiments import fig5_multicore
@@ -311,6 +333,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "canonical fig5 sweep + single-run hot loop",
         "config": dict(CANONICAL, num_mixes_per_scenario=args.mixes),
         "machine": {"cpu_count": os.cpu_count(), "workers": args.workers},
+        "provenance": provenance(),
         "current": {
             "sweep_serial_s": round(serial_s, 2),
             "sweep_parallel_s": round(parallel_s, 2),

@@ -11,10 +11,13 @@
 # ReferenceFrFcfsPolicy, asserting bit-identical command streams and
 # result rows — and an OS-governor sweep smoke: the ossweep driver
 # cold-stores then warm-replays with zero simulations while governor
-# policies (kill/quota/migrate) actually fire.  Runs in seconds; part
-# of tier-1 via the perf_smoke marker.
+# policies (kill/quota/migrate) actually fire — plus the observability
+# acceptance smokes (obs_smoke): a traced attack-mix BlockHammer run
+# whose trace-event counts match the SimResult counters exactly and
+# whose results stay bit-identical with tracing on.  Runs in seconds;
+# part of tier-1 via the markers.
 #
 # Usage: scripts/perf_smoke.sh [extra pytest args]
 set -e
 cd "$(dirname "$0")/.."
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -q -m perf_smoke "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -q -m "perf_smoke or obs_smoke" "$@"

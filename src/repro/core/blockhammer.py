@@ -109,11 +109,35 @@ class BlockHammer(MitigationMechanism):
             return float("inf")
         return self.rowblocker.next_rotate
 
+    def bind_probe(self, probe) -> None:
+        """Forward the probe into the RowBlocker (rotations can trigger
+        from inside its own query paths, so it emits them itself) with
+        this instance's channel as the Perfetto track."""
+        super().bind_probe(probe)
+        if self.rowblocker is not None:
+            self.rowblocker.probe = probe
+            self.rowblocker.obs_track = self.obs_track
+
+    def blacklist_occupancy(self) -> int:
+        """Exact rows currently at/above NBL across this channel's
+        banks (epoch-metrics sampling hook)."""
+        return self.rowblocker.blacklist_occupancy()
+
     def on_activate(self, rank: int, bank: int, row: int, thread: int, now: float) -> None:
         was_blacklisted = self.rowblocker.on_activate(rank, bank, row, now)
         if was_blacklisted:
             bank_index = rank * self.context.spec.banks_per_rank + bank
             self.throttler.record_blacklisted_act(thread, bank_index)
+            if self.probe is not None:
+                self.probe(
+                    now,
+                    "blacklist_act",
+                    self.obs_track,
+                    thread=thread,
+                    rank=rank,
+                    bank=bank,
+                    row=row,
+                )
 
     def max_inflight(self, thread: int, rank: int, bank: int) -> int | None:
         if self.observe_only:

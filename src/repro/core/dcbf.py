@@ -89,6 +89,14 @@ class DualCountingBloomFilter:
         (requires ``track_exact``)."""
         return self._exact[self._active].get(key, 0)
 
+    def exact_over(self, threshold: int) -> int:
+        """Keys whose true count in the active window has reached
+        ``threshold`` (requires ``track_exact``) — the exact blacklist
+        occupancy when ``threshold`` is NBL."""
+        return sum(
+            1 for count in self._exact[self._active].values() if count >= threshold
+        )
+
     def next_clear_at(self) -> float:
         """Time of the next epoch boundary."""
         return self._next_clear

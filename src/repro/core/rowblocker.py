@@ -104,6 +104,14 @@ class RowBlockerBL:
 class RowBlocker:
     """The full RowBlocker: per-bank BLs plus per-rank history buffers."""
 
+    #: Trace probe + Perfetto track (the channel), forwarded by
+    #: BlockHammer.bind_probe when a telemetry bus is attached.  The
+    #: rotation event is emitted here, not in the mechanism wrapper,
+    #: because rotations also trigger inside ``allowed_at`` and
+    #: ``on_activate`` — not only from the controller's time advance.
+    probe = None
+    obs_track = 0
+
     def __init__(
         self,
         config: BlockHammerConfig,
@@ -171,6 +179,14 @@ class RowBlocker:
                 bl.maybe_rotate(now)
         self._next_rotate = self.bls[0][0].dcbf.next_clear_at()
         self.verdict_epoch += 1
+        if self.probe is not None:
+            self.probe(
+                now,
+                "dcbf_rotate",
+                self.obs_track,
+                epoch=self.verdict_epoch,
+                next_rotate=self._next_rotate,
+            )
 
     # ------------------------------------------------------------------
     def allowed_at(self, rank: int, bank: int, row: int, thread: int, now: float) -> float:
@@ -197,6 +213,12 @@ class RowBlocker:
     def is_safe(self, rank: int, bank: int, row: int, thread: int, now: float) -> bool:
         """Convenience wrapper over :meth:`allowed_at`."""
         return self.allowed_at(rank, bank, row, thread, now) <= now
+
+    def blacklist_occupancy(self) -> int:
+        """Rows at/above the blacklisting threshold in the active D-CBF
+        window, summed over banks (exact shadow counts, no aliasing)."""
+        nbl = self.config.nbl
+        return sum(bl.dcbf.exact_over(nbl) for bl in self._flat_bls)
 
     # ------------------------------------------------------------------
     def on_activate(self, rank: int, bank: int, row: int, now: float) -> bool:

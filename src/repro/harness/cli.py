@@ -45,6 +45,7 @@ from repro.harness.retry import (
 )
 from repro.harness.runner import HarnessConfig
 from repro.hwcost.mechanisms import table4_rows
+from repro.obs.profile import format_profile_breakdown, write_report_json
 from repro.mitigations.registry import available_mitigations
 from repro.security.solver import prove_safety
 
@@ -145,7 +146,11 @@ def cmd_fig4(args) -> str:
 
 def cmd_fig5(args) -> str:
     rows = experiments.fig5_multicore(
-        _hcfg(args), num_mixes=args.mixes, workers=args.workers, cache=_cache(args)
+        _hcfg(args),
+        num_mixes=args.mixes,
+        mechanisms=args.mechanisms,
+        workers=args.workers,
+        cache=_cache(args),
     )
     summary = experiments.summarize_mix_rows(rows)
     return format_table(
@@ -248,6 +253,42 @@ def cmd_table8(args) -> str:
     )
 
 
+def cmd_trace(args) -> str:
+    """Run one attack-mix scenario with tracing and epoch metrics on,
+    writing a Perfetto ``trace_event`` JSON and a tidy metrics CSV."""
+    from repro.harness.runner import Runner
+    from repro.obs import ObsConfig, TelemetryBus, write_perfetto
+    from repro.workloads.mixes import attack_mixes
+
+    mechanism = args.mechanisms[0] if args.mechanisms else "blockhammer"
+    bus = TelemetryBus(
+        ObsConfig(
+            trace=True,
+            trace_limit=args.trace_limit,
+            metrics=True,
+            metrics_epoch_ns=args.metrics_epoch_ns,
+        )
+    )
+    mix = attack_mixes(1)[0]
+    outcome = Runner(_hcfg(args), obs=bus).run_mix(mix, mechanism)
+    document = write_perfetto(args.trace_out, bus.trace)
+    metric_rows = bus.metrics.write_csv(args.metrics_out)
+    return format_table(
+        ["key", "value"],
+        [
+            ["mechanism", mechanism],
+            ["mix", mix.name],
+            ["trace events", len(bus.trace.events)],
+            ["dropped", bus.trace.dropped],
+            ["perfetto events", len(document["traceEvents"])],
+            ["metric rows", metric_rows],
+            ["victim refreshes", outcome.result.victim_refreshes],
+            ["trace file", args.trace_out],
+            ["metrics file", args.metrics_out],
+        ],
+    )
+
+
 _COMMANDS = {
     "table1": cmd_table1,
     "security": cmd_security,
@@ -258,6 +299,7 @@ _COMMANDS = {
     "ossweep": cmd_ossweep,
     "rhli": cmd_rhli,
     "table8": cmd_table8,
+    "trace": cmd_trace,
 }
 
 
@@ -373,6 +415,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_ON_ERROR or raise)",
     )
     parser.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="trace command: Perfetto trace_event JSON output path",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default="metrics.csv",
+        help="trace command: epoch-metrics CSV output path",
+    )
+    parser.add_argument(
+        "--trace-limit",
+        type=_positive_int,
+        default=500_000,
+        help="trace command: ring-buffer bound on retained trace events "
+        "(oldest events drop beyond it; the report counts drops)",
+    )
+    parser.add_argument(
+        "--metrics-epoch-ns",
+        type=_positive_float,
+        default=None,
+        help="trace command: metrics sampling period in ns (default: the "
+        "mechanism's epoch, else half the refresh window)",
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="PATH",
+        help="write the sweep execution report (counters, failures, "
+        "per-job wall-clock/throughput profiles) as JSON to PATH",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="stream one line per completed/cached/failed job to stderr "
@@ -435,11 +508,24 @@ def _channel_list(text: str) -> list[int]:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_exec_env(args)
+    # The last-report slot is module-global; clear it so a report left by
+    # an earlier sweep in this process never masquerades as this run's.
+    parallel.reset_last_report()
     print(_COMMANDS[args.command](args))
-    if args.progress:
-        report = parallel.last_report()
+    report = parallel.last_report()
+    if args.progress and report is not None:
+        print(format_sweep_report(report), file=sys.stderr)
+        breakdown = format_profile_breakdown(report)
+        if breakdown:
+            print(breakdown, file=sys.stderr)
+    if args.report_json:
         if report is not None:
-            print(format_sweep_report(report), file=sys.stderr)
+            write_report_json(report, args.report_json)
+        else:
+            print(
+                f"--report-json: no sweep ran; {args.report_json} not written",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -67,6 +67,7 @@ from repro.harness.cache import CACHEABLE_EXTRAS, ResultCache, resolve_cache
 from repro.harness.faults import FaultPlan, SimulatedCrash
 from repro.harness.retry import ExecPolicy, resolve_policy
 from repro.harness.runner import HarnessConfig, Runner, RunOutcome
+from repro.obs.profile import JobProfile
 from repro.os.spec import GovernorSpec
 from repro.sim.stats import SimResult
 from repro.utils.aggregate import merge_fields
@@ -291,6 +292,11 @@ class SweepReport:
     timeouts: int = 0
     failures: list[JobFailure] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: Per-job execution profiles (:class:`~repro.obs.profile.JobProfile`):
+    #: wall-clock, simulated events/second, cache disposition, attempts.
+    #: Rendered by ``repro.obs.profile.report_to_json`` (the CLI's
+    #: ``--report-json`` artifact) and ``format_profile_breakdown``.
+    profiles: list[JobProfile] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -412,6 +418,18 @@ def last_report() -> SweepReport | None:
     return _LAST_REPORT
 
 
+def reset_last_report() -> None:
+    """Clear the last-report slot.
+
+    ``_LAST_REPORT`` is a module global, so without a reset it leaks
+    across logical sweeps in one process: a CLI command (or test) that
+    runs no jobs would read the *previous* sweep's report and render
+    stale counts.  The CLI calls this before dispatching every command.
+    """
+    global _LAST_REPORT
+    _LAST_REPORT = None
+
+
 def _job_label(job: SimJob) -> str:
     """A short human label for progress lines (full keys embed the whole
     HarnessConfig repr)."""
@@ -500,20 +518,41 @@ def run_jobs(
         if store is not None:
             pending = []
             for job in ordered:
+                load_start = time.perf_counter()
                 hit = store.get(job)
+                load_s = time.perf_counter() - load_start
                 if hit is not None:
                     results[job.key] = hit
                     rep.cached += 1
+                    rep.profiles.append(
+                        JobProfile(
+                            _job_label(job),
+                            "cached",
+                            wall_s=load_s,
+                            events=hit.result.events_processed,
+                        )
+                    )
                     if progress:
                         progress(rep, job, "cached")
                 else:
                     pending.append(job)
 
-        def checkpoint(job: SimJob, result: JobResult) -> None:
+        def checkpoint(
+            job: SimJob, result: JobResult, wall_s: float = 0.0, attempts: int = 1
+        ) -> None:
             results[job.key] = result
             if store is not None:
                 store.put(job, result)
             rep.executed += 1
+            rep.profiles.append(
+                JobProfile(
+                    _job_label(job),
+                    "executed",
+                    wall_s=wall_s,
+                    events=result.result.events_processed,
+                    attempts=attempts,
+                )
+            )
             if progress:
                 progress(rep, job, "done")
 
@@ -538,10 +577,18 @@ def run_jobs(
         rep.elapsed_s += time.monotonic() - start
     rep.failures.extend(failures)
     if failures:
+        by_key = {job.key: job for job in pending}
+        for failure in failures:
+            rep.profiles.append(
+                JobProfile(
+                    _job_label(by_key[failure.key]),
+                    "failed",
+                    attempts=failure.attempts,
+                )
+            )
         if progress:
             for failure in failures:
-                job = next(j for j in pending if j.key == failure.key)
-                progress(rep, job, failure.kind.upper())
+                progress(rep, by_key[failure.key], failure.kind.upper())
         if pol.on_error == "raise":
             raise JobExecutionError(failures)
         for failure in failures:
@@ -577,9 +624,11 @@ def _execute_jobs(
     count = resolve_workers(workers)
     completed: set[JobKey] = set()
 
-    def _checkpoint(job: SimJob, result: JobResult) -> None:
+    def _checkpoint(
+        job: SimJob, result: JobResult, wall_s: float = 0.0, attempts: int = 1
+    ) -> None:
         completed.add(job.key)
-        checkpoint(job, result)
+        checkpoint(job, result, wall_s, attempts)
 
     if count > 1 and len(ordered) > 1:
         try:
@@ -622,6 +671,7 @@ def _serial_execute(
             try:
                 if faults is not None:
                     faults.apply(job, attempt, in_process=True)
+                attempt_start = time.perf_counter()
                 result = execute_job(job)
             except KeyboardInterrupt:
                 raise
@@ -641,7 +691,9 @@ def _serial_execute(
                 time.sleep(policy.backoff_delay(job.key, attempt))
                 attempt += 1
             else:
-                checkpoint(job, result)
+                checkpoint(
+                    job, result, time.perf_counter() - attempt_start, attempt
+                )
                 break
     return failures
 
@@ -658,6 +710,7 @@ class _Attempt:
     ready_at: float = 0.0  # earliest re-dispatch time (backoff)
     first_failure: float | None = None
     deadline: float | None = None  # per-job wall-clock kill time
+    dispatched_at: float = 0.0  # when this attempt entered the pool
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -756,6 +809,7 @@ def _pool_execute(
                     if policy.job_timeout_s is not None
                     else None
                 )
+                entry.dispatched_at = now
                 inflight[future] = entry
             if pool is None:
                 continue
@@ -786,7 +840,12 @@ def _pool_execute(
                 except Exception as exc:
                     retry_or_fail(entry, "error", repr(exc), now)
                 else:
-                    checkpoint(entry.job, result)
+                    # Pool wall-clock is dispatch-to-result: it includes
+                    # queue-to-worker latency, which is what the sweep
+                    # actually paid for the job.
+                    checkpoint(
+                        entry.job, result, now - entry.dispatched_at, entry.attempt
+                    )
             if pool_broken:
                 for future, entry in inflight.items():
                     report.crashes += 1

@@ -196,6 +196,11 @@ class Runner:
     DRAM command each channel issues into ``RunOutcome.command_logs``.
     The differential scheduler harness uses both to prove the fast and
     the reference policy produce identical command streams.
+
+    ``obs`` attaches a :class:`~repro.obs.probe.TelemetryBus` to every
+    system this runner builds (the CLI ``trace`` subcommand's path);
+    mutually exclusive with ``capture_commands``, which claims the
+    device command-log hook for itself.
     """
 
     def __init__(
@@ -204,11 +209,13 @@ class Runner:
         energy_model: EnergyModel | None = None,
         policy=None,
         capture_commands: bool = False,
+        obs=None,
     ) -> None:
         self.hcfg = hcfg
         self.energy_model = energy_model or EnergyModel()
         self.policy = policy
         self.capture_commands = capture_commands
+        self.obs = obs
         self._alone_ipc_cache: dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
@@ -233,6 +240,7 @@ class Runner:
             core_params_per_thread=core_params_per_thread,
             # One fresh governor per system: policies carry run state.
             governor=build_governor(governor),
+            obs=self.obs,
         )
         return system
 

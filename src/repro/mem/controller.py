@@ -104,6 +104,12 @@ class ThreadMemStats:
 class MemoryController:
     """One channel's memory controller."""
 
+    #: Trace probe (``mem`` category), bound by the System when a
+    #: telemetry bus is attached.  Emission sites live only on rare
+    #: branches (quota rejections, REF/VREF issue), never in the
+    #: scheduling hot loop, so the disabled path costs nothing.
+    probe = None
+
     def __init__(
         self,
         spec: DramSpec,
@@ -220,6 +226,15 @@ class MemoryController:
             stats.blocked_injections += 1
             if reason == "quota":
                 stats.quota_blocked_injections += 1
+                if self.probe is not None:
+                    self.probe(
+                        now,
+                        "throttle_block",
+                        self.channel_id,
+                        thread=request.thread,
+                        rank=request.address.rank,
+                        bank=request.address.bank,
+                    )
             return False
         queue = self.write_queue if request.is_write else self.read_queue
         queue.push(request)
@@ -498,6 +513,8 @@ class MemoryController:
             if ready <= now:
                 self.device.issue(Command(CommandKind.REF, rank_id, 0), now)
                 self.refresh.on_ref_issued(rank_id, now)
+                if self.probe is not None:
+                    self.probe(now, "ref", self.channel_id, rank=rank_id)
                 self.commands_issued += 1
                 self._invalidate_rank(rank_id)
                 return True, now
@@ -545,6 +562,15 @@ class MemoryController:
                         del self._vrefs[(rank_id, bank_id)]
                     self._pending_vref_count -= 1
                     self.vref_count += 1
+                    if self.probe is not None:
+                        self.probe(
+                            now,
+                            "vref",
+                            self.channel_id,
+                            rank=rank_id,
+                            bank=bank_id,
+                            row=cmd.row,
+                        )
                 return True, now
             if t < best_t:
                 best_t = t

@@ -144,6 +144,9 @@ class SchedulingPolicy:
     """Interface: pick the next command for a set of queued requests."""
 
     name = "base"
+    #: Trace probe (``mem`` category), bound by the System when a
+    #: telemetry bus is attached; only rare branches may emit.
+    probe = None
 
     def select(
         self,
@@ -275,6 +278,10 @@ class FrFcfsPolicy(SchedulingPolicy):
             # Refresh-draining windows (and hypothetical multi-rank
             # devices, whose per-rank ACT constraint does not factor
             # out of the class minima) take the every-bank scan.
+            if self.probe is not None:
+                self.probe(
+                    now, "sched_full_scan", 0, blocked_ranks=len(blocked_ranks)
+                )
             sel = self._scan_select(requests, device, mitigation, now, blocked_ranks)
             return sel.command, sel.request, sel.next_ready
 

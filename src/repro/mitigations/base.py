@@ -98,6 +98,15 @@ class MitigationMechanism:
     commodity_compatible = False
     scales_with_vulnerability = False
     deterministic_protection = False
+    #: Trace probe (``mitigation`` category), bound via
+    #: :meth:`bind_probe` when a telemetry bus is attached; stays None
+    #: (class attribute, zero per-instance cost) otherwise.  Emission
+    #: sites live only on rare branches (neighbor refreshes, blacklist
+    #: hits, epoch rotations), never in per-ACT bookkeeping.
+    probe = None
+    #: Perfetto track for emitted events (the channel this instance
+    #: protects); stamped in :meth:`bind_probe`.
+    obs_track = 0
 
     def __init__(self) -> None:
         self.context: MitigationContext | None = None
@@ -125,6 +134,15 @@ class MitigationMechanism:
     def attach(self, context: MitigationContext) -> None:
         """Bind the mechanism to a system; called once before simulation."""
         self.context = context
+
+    def bind_probe(self, probe) -> None:
+        """Attach a trace probe (called by the System when a telemetry
+        bus is live).  Subclasses with traced internal components
+        override this to forward the probe (e.g. BlockHammer's
+        RowBlocker emits the D-CBF rotation events itself)."""
+        self.probe = probe
+        if self.context is not None:
+            self.obs_track = self.context.channel
 
     def on_time_advance(self, now: float) -> None:
         """Periodic maintenance hook, called once per controller step."""

@@ -122,10 +122,10 @@ class CounterBasedTree(MitigationMechanism):
             node.right = _Node(node.start + half, node.size - half, node.level + 1, node.count)
             self._counters_used[key] += 2
         else:
-            self._refresh_region(rank, bank, node)
+            self._refresh_region(rank, bank, node, now)
             node.count = 0
 
-    def _refresh_region(self, rank: int, bank: int, node: _Node) -> None:
+    def _refresh_region(self, rank: int, bank: int, node: _Node, now: float) -> None:
         """Refresh the leaf region's rows (bounded for simulation cost).
 
         CBT refreshes every row of the region; for very large regions we
@@ -139,3 +139,13 @@ class CounterBasedTree(MitigationMechanism):
         for row in rows:
             self.queue_victim_refresh(rank, bank, row)
         self.region_refreshes += 1
+        if self.probe is not None:
+            self.probe(
+                now,
+                "region_refresh",
+                self.obs_track,
+                rank=rank,
+                bank=bank,
+                start=node.start,
+                size=node.size,
+            )

@@ -79,7 +79,7 @@ class Graphene(MitigationMechanism):
         if row in table:
             table[row] += 1
             if table[row] % self.threshold == 0:
-                self._refresh_neighbors(rank, bank, row)
+                self._refresh_neighbors(rank, bank, row, now)
             return
         if len(table) < self.table_entries:
             table[row] = 1
@@ -95,7 +95,19 @@ class Graphene(MitigationMechanism):
         else:
             self._spill[key] = spill + 1
 
-    def _refresh_neighbors(self, rank: int, bank: int, row: int) -> None:
+    def _refresh_neighbors(self, rank: int, bank: int, row: int, now: float) -> None:
+        victims = 0
         for victim in self.context.adjacency(rank, bank, row, self.context.blast_radius):
             self.queue_victim_refresh(rank, bank, victim)
             self.refreshes_injected += 1
+            victims += 1
+        if self.probe is not None:
+            self.probe(
+                now,
+                "neighbor_refresh",
+                self.obs_track,
+                rank=rank,
+                bank=bank,
+                row=row,
+                victims=victims,
+            )

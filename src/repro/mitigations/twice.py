@@ -78,10 +78,22 @@ class TWiCe(MitigationMechanism):
         entry.count += 1
         self.max_table_entries = max(self.max_table_entries, len(table))
         if entry.count >= self.refresh_threshold:
+            victims = 0
             for victim in self.context.adjacency(
                 rank, bank, row, self.context.blast_radius
             ):
                 self.queue_victim_refresh(rank, bank, victim)
                 self.refreshes_injected += 1
+                victims += 1
             entry.count = 0
             entry.life = 0
+            if self.probe is not None:
+                self.probe(
+                    now,
+                    "neighbor_refresh",
+                    self.obs_track,
+                    rank=rank,
+                    bank=bank,
+                    row=row,
+                    victims=victims,
+                )

@@ -1,0 +1,134 @@
+"""The probe API and the telemetry bus.
+
+A :class:`Probe` is a bound emitter: one category, one sink, truthy.
+The disabled counterpart is *absence* — components carry a ``probe``
+attribute that defaults to ``None`` (bound at class definition, never
+touched on the hot path) and emission sites read::
+
+    if self.probe is not None:
+        self.probe(now, "vref", self.channel_id, rank=rank, bank=bank)
+
+placed only on branches that already fire rarely.  :data:`NULL_PROBE`
+is the defensive falsy no-op for call sites that prefer holding a
+callable over holding ``None``; both spellings cost nothing when
+observability is off.
+
+:class:`TelemetryBus` owns the per-run sinks (trace ring buffer, epoch
+metrics collector) and hands out probes per category.  The
+:class:`~repro.sim.system.System` wires a bus through every layer at
+construction time (``System(..., obs=bus)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class _NullProbe:
+    """Falsy, callable, argument-agnostic no-op (the disabled probe)."""
+
+    __slots__ = ()
+
+    def __call__(self, *args, **kwargs) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_PROBE"
+
+
+#: The process-wide disabled probe (falsy; calling it does nothing).
+NULL_PROBE = _NullProbe()
+
+
+class Probe:
+    """A category-bound event emitter attached to a trace sink."""
+
+    __slots__ = ("category", "_emit")
+
+    def __init__(self, sink, category: str) -> None:
+        self.category = category
+        # Bind the sink's emit method once: a probe call is one
+        # dictionary build plus one deque append.
+        self._emit = sink.emit
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __call__(self, ts: float, name: str, track: int = 0, **args) -> None:
+        """Record an instant event at ``ts`` (simulated nanoseconds).
+
+        ``track`` maps to the Perfetto thread lane (the memory channel
+        for per-channel layers, 0 for system-level ones); keyword
+        arguments become the event's payload.
+        """
+        self._emit(ts, self.category, name, track, args or None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Probe({self.category!r})"
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What the telemetry bus records.
+
+    Everything defaults to off: a default-constructed bus is inert and
+    a ``System`` built without one is the production configuration.
+    """
+
+    #: Record typed trace events (and the DRAM command stream).
+    trace: bool = False
+    #: Ring-buffer bound on retained trace events (oldest drop first;
+    #: :attr:`TraceSink.dropped` counts the loss).
+    trace_limit: int = 500_000
+    #: Mirror the DRAM command stream into the trace via the device's
+    #: ``command_log`` hook (only meaningful with ``trace=True``).
+    trace_commands: bool = True
+    #: Collect per-epoch metrics rows.
+    metrics: bool = False
+    #: Metrics sampling period; ``None`` defers to the system default
+    #: (the channel-0 mechanism's epoch where it has one, else half the
+    #: refresh window — the same rule the OS governor uses).
+    metrics_epoch_ns: float | None = None
+
+
+class TelemetryBus:
+    """Per-run observability switchboard: sinks plus probe hand-out."""
+
+    def __init__(self, config: ObsConfig | None = None) -> None:
+        from repro.obs.metrics import EpochMetricsCollector
+        from repro.obs.trace import TraceSink
+
+        self.config = config or ObsConfig()
+        #: The trace sink, or ``None`` when tracing is off.
+        self.trace: TraceSink | None = (
+            TraceSink(self.config.trace_limit) if self.config.trace else None
+        )
+        #: The metrics collector, or ``None`` when metrics are off.
+        self.metrics: EpochMetricsCollector | None = (
+            EpochMetricsCollector() if self.config.metrics else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any sink is live (an inert bus wires nothing)."""
+        return self.trace is not None or self.metrics is not None
+
+    def probe(self, category: str):
+        """A :class:`Probe` for ``category`` when tracing is on, else
+        :data:`NULL_PROBE` (falsy — callers binding component probe
+        attributes store ``None`` instead and skip the call entirely).
+        """
+        if self.trace is None:
+            return NULL_PROBE
+        return Probe(self.trace, category)
+
+    def note_measurement_reset(self, now: float) -> None:
+        """Forward the warmup boundary to every sink: counters sampled
+        after this instant reflect the measured phase."""
+        if self.trace is not None:
+            self.trace.note_measurement_reset(now)
+        if self.metrics is not None:
+            self.metrics.note_measurement_reset(now)

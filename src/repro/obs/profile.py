@@ -1,0 +1,133 @@
+"""Sweep-level profiling: per-job cost and the ``--report-json`` artifact.
+
+:class:`JobProfile` is one job's execution record — wall-clock,
+simulated events per second, cache disposition, attempts — collected by
+:func:`repro.harness.parallel.run_jobs` into
+``SweepReport.profiles``.  The collection cost is one ``perf_counter``
+pair and one small object per job, nothing near the simulation hot
+loop, so profiling is always on.
+
+:func:`report_to_json` renders a whole :class:`SweepReport` (headline
+counters, failures, per-job profiles, aggregate throughput) as a plain
+JSON-safe dict; the CLI's ``--report-json`` flag writes it next to the
+printed table so CI can archive sweep behaviour as a machine-readable
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class JobProfile:
+    """One job's execution record inside a sweep.
+
+    ``status`` is the cache disposition: ``"cached"`` (served from the
+    persistent result cache; ``wall_s`` is the load time), ``"executed"``
+    (simulated this sweep; ``wall_s`` covers the successful attempt —
+    dispatch-to-result on the pool path), or ``"failed"`` (exhausted the
+    retry ladder; ``events`` is zero and ``wall_s`` unknown).
+    """
+
+    label: str
+    status: str
+    wall_s: float = 0.0
+    events: int = 0
+    attempts: int = 1
+
+    @property
+    def events_per_sec(self) -> float | None:
+        """Simulated events per wall-clock second (None when unknown)."""
+        if self.events and self.wall_s > 0.0:
+            return self.events / self.wall_s
+        return None
+
+
+def report_to_json(report) -> dict:
+    """A :class:`~repro.harness.parallel.SweepReport` as a JSON-safe
+    dict: headline counters, structured failures, per-job profiles, and
+    aggregate throughput over the executed jobs."""
+    profiles = list(getattr(report, "profiles", ()))
+    executed = [p for p in profiles if p.status == "executed"]
+    executed_wall = sum(p.wall_s for p in executed)
+    executed_events = sum(p.events for p in executed)
+    jobs = []
+    for profile in profiles:
+        row = asdict(profile)
+        rate = profile.events_per_sec
+        row["events_per_sec"] = round(rate) if rate is not None else None
+        row["wall_s"] = round(row["wall_s"], 6)
+        jobs.append(row)
+    return {
+        "total": report.total,
+        "cached": report.cached,
+        "executed": report.executed,
+        "retries": report.retries,
+        "timeouts": report.timeouts,
+        "crashes": report.crashes,
+        "elapsed_s": round(report.elapsed_s, 3),
+        "failures": [
+            {
+                "key": repr(failure.key),
+                "kind": failure.kind,
+                "attempts": failure.attempts,
+                "error": failure.error,
+            }
+            for failure in report.failures
+        ],
+        "jobs": jobs,
+        "aggregate": {
+            "executed_wall_s": round(executed_wall, 3),
+            "executed_events": executed_events,
+            "events_per_sec": (
+                round(executed_events / executed_wall)
+                if executed_wall > 0.0 and executed_events
+                else None
+            ),
+        },
+    }
+
+
+def write_report_json(report, path) -> dict:
+    """Serialize :func:`report_to_json` to ``path``; returns the dict."""
+    document = report_to_json(report)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def format_profile_breakdown(report, top: int = 10) -> str:
+    """Human-readable per-job cost table: the ``top`` slowest executed
+    jobs plus cached/failed tallies (rendered under CLI ``--progress``)."""
+    from repro.harness.reporting import format_table
+
+    profiles = list(getattr(report, "profiles", ()))
+    if not profiles:
+        return "no job profiles recorded"
+    executed = sorted(
+        (p for p in profiles if p.status == "executed"),
+        key=lambda p: p.wall_s,
+        reverse=True,
+    )
+    rows = []
+    for profile in executed[:top]:
+        rate = profile.events_per_sec
+        rows.append(
+            [
+                profile.label,
+                profile.status,
+                round(profile.wall_s, 3),
+                profile.events or None,
+                round(rate) if rate is not None else None,
+                profile.attempts,
+            ]
+        )
+    cached = sum(1 for p in profiles if p.status == "cached")
+    failed = sum(1 for p in profiles if p.status == "failed")
+    table = format_table(
+        ["job", "status", "wall s", "events", "ev/s", "tries"], rows
+    )
+    return f"{table}\n({len(executed)} executed, {cached} cached, {failed} failed)"

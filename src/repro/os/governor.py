@@ -37,6 +37,10 @@ from repro.utils.validation import require
 class Governor:
     """Epoch-driven policy host and action sink."""
 
+    #: Trace probe (``os`` category), bound by the System when a
+    #: telemetry bus is attached; actions and reviews emit through it.
+    probe = None
+
     def __init__(self, policies: list[OsPolicy], epoch_ns: float | None = None) -> None:
         if epoch_ns is not None:
             require(epoch_ns > 0.0, "governor epoch must be positive")
@@ -125,6 +129,8 @@ class Governor:
     def _review(self, now: float) -> None:
         self.epochs += 1
         self._now = now
+        if self.probe is not None:
+            self.probe(now, "review", 0, epoch=self.epochs)
         sample = self.sample(now)
         for policy in self.policies:
             policy.review(sample, self)
@@ -153,6 +159,8 @@ class Governor:
             return
         self.killed.add(thread)
         self.kill_log.append((thread, self._now))
+        if self.probe is not None:
+            self.probe(self._now, "kill", 0, thread=thread)
         if self._system is not None:
             self._system.deschedule_thread(thread, self._now)
 
@@ -160,6 +168,8 @@ class Governor:
         """Scale ``thread``'s MLP quota (1.0 = unthrottled)."""
         self.quota_scale[thread] = scale
         self.quota_updates += 1
+        if self.probe is not None:
+            self.probe(self._now, "quota_scale", 0, thread=thread, scale=scale)
         if self._system is not None:
             self._system.cores[thread].set_mlp_scale(scale)
 
@@ -176,6 +186,8 @@ class Governor:
             self._system.cores[thread].repin_channel(channel)
         self.migrations[thread] = channel
         self.migration_log.append((thread, channel, self._now))
+        if self.probe is not None:
+            self.probe(self._now, "migrate", 0, thread=thread, channel=channel)
 
     # ------------------------------------------------------------------
     # Reporting (the ``governor_actions`` extractor; JSON-safe).

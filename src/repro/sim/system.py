@@ -56,6 +56,7 @@ class System:
         core_params_per_thread: list | None = None,
         mitigation_factory: MitigationFactory | None = None,
         governor=None,
+        obs=None,
     ) -> None:
         """``mitigation_factory`` builds one fresh mechanism per channel
         (required for multi-channel systems, where mitigation state must
@@ -66,7 +67,15 @@ class System:
         (:class:`~repro.os.governor.Governor`): the event loop reviews
         it once per governor epoch and its policies act on the cores
         (kill / quota / channel migration).  ``None`` (default) costs
-        nothing — no events are scheduled and no hooks fire."""
+        nothing — no events are scheduled and no hooks fire.
+
+        ``obs`` attaches a telemetry bus
+        (:class:`~repro.obs.probe.TelemetryBus`): trace probes are bound
+        through every layer (device command stream, controller, per-
+        channel mechanism, governor) and metrics sampling events are
+        scheduled once per sampling epoch.  ``None`` (default) binds
+        nothing — component probe attributes stay ``None`` and the event
+        loop runs exactly as without observability."""
         self.config = config
         self.rng = DeterministicRng(config.seed)
         spec = config.effective_spec()
@@ -147,6 +156,64 @@ class System:
         self._descheduled = [False] * len(self.cores)
         if governor is not None:
             governor.attach(self)
+        # Observability (repro.obs): wired only when a live bus is
+        # passed; otherwise every component's probe attribute keeps its
+        # class-level None and no sampling events exist.
+        self.obs = obs
+        self._metrics_period: float | None = None
+        if obs is not None and obs.enabled:
+            self._attach_obs(obs)
+
+    # ------------------------------------------------------------------
+    # Observability plumbing (repro.obs).
+    # ------------------------------------------------------------------
+    def _attach_obs(self, obs) -> None:
+        """Bind the telemetry bus through every layer.
+
+        Runs once at construction, only for a live bus: probes land on
+        component attributes that otherwise stay ``None``, and the DRAM
+        command stream is mirrored through the device's existing
+        ``command_log`` hook (skipped for any device that already has a
+        log attached — e.g. the differential harness's capture)."""
+        from repro.obs.trace import ChannelCommandLog
+
+        if obs.trace is not None:
+            if obs.config.trace_commands:
+                for channel, device in enumerate(self.memsys.devices):
+                    if device.command_log is None:
+                        device.command_log = ChannelCommandLog(obs.trace, channel)
+            mem_probe = obs.probe("mem")
+            for controller in self.controllers:
+                controller.probe = mem_probe
+                controller.policy.probe = mem_probe
+            mitigation_probe = obs.probe("mitigation")
+            for mitigation in self.memsys.mitigations:
+                mitigation.bind_probe(mitigation_probe)
+            if self.governor is not None:
+                self.governor.probe = obs.probe("os")
+        if obs.metrics is not None:
+            self._metrics_period = self._metrics_epoch_ns()
+
+    def _metrics_epoch_ns(self) -> float:
+        """The metrics sampling period: the explicit config value, else
+        the channel-0 mechanism's epoch, else half the refresh window
+        (the same default the OS governor uses)."""
+        configured = self.obs.config.metrics_epoch_ns
+        if configured is not None:
+            return configured
+        mechanism_config = getattr(self.memsys.mitigations[0], "config", None)
+        epoch = getattr(mechanism_config, "epoch_ns", None)
+        if epoch:
+            return epoch
+        return self.config.effective_spec().tREFW / 2.0
+
+    def _fire_metrics(self, now: float) -> None:
+        self.obs.metrics.sample(self, now)
+        # Same liveness guard as the governor: reschedule only while
+        # the simulation still has work, or sampling alone would keep
+        # the event loop spinning forever.
+        if not self._events.empty or self.memsys.busy():
+            self._events.push(now + self._metrics_period, self._fire_metrics)
 
     # ------------------------------------------------------------------
     # Event scheduling helpers.
@@ -284,6 +351,13 @@ class System:
             self._schedule_ctrl(channel, 0.0)
         if self.governor is not None:
             self._events.push(self.governor.start(0.0), self._fire_governor)
+        if self._metrics_period is not None:
+            # First sample one epoch in; samples ride the ordinary event
+            # queue, so they only perturb ``events_processed`` (the one
+            # SimResult field excluded from result equality).
+            if warming:
+                self.obs.metrics.begin_warmup()
+            self._events.push(self._metrics_period, self._fire_metrics)
 
         measure_start = warmup_ns if warming else 0.0
         # Controller batches must not leap across the warmup boundary
@@ -371,6 +445,8 @@ class System:
             if dead:
                 self.cores[index].finish_time = now
                 self._note_finished(index)
+        if self.obs is not None:
+            self.obs.note_measurement_reset(now)
 
     # ------------------------------------------------------------------
     def _collect(self, end_time: float, measure_start: float = 0.0) -> SimResult:

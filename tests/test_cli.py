@@ -145,3 +145,111 @@ def test_progress_prints_sweep_report(capsys, monkeypatch):
     assert "0 failed" in captured.err
     assert "single:403.gcc" in captured.err  # per-job progress lines
     assert "mechanism" in captured.out  # the figure table still prints
+
+
+def test_trace_command_writes_artifacts(tmp_path, capsys):
+    """The trace subcommand runs one attack-mix scenario and writes a
+    valid Perfetto trace plus the epoch-metrics CSV."""
+    import csv
+    import json
+
+    from repro.obs.metrics import FIELDS
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.csv"
+    code = main(
+        [
+            "trace",
+            "--scale", "4096",
+            "--instructions", "6000",
+            "--warmup-us", "5",
+            "--metrics-epoch-ns", "5000",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "blockhammer" in out and "trace events" in out
+    document = json.loads(trace_path.read_text())
+    assert document["displayTimeUnit"] == "ns"
+    names = {e.get("name") for e in document["traceEvents"]}
+    assert "ACT" in names and "measure_start" in names
+    with open(metrics_path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows and tuple(rows[0]) == FIELDS
+
+
+def test_trace_command_ring_limit(tmp_path, capsys):
+    """A tiny --trace-limit drops events and the summary reports it."""
+    code = main(
+        [
+            "trace",
+            "--scale", "4096",
+            "--instructions", "4000",
+            "--warmup-us", "5",
+            "--trace-limit", "50",
+            "--trace-out", str(tmp_path / "t.json"),
+            "--metrics-out", str(tmp_path / "m.csv"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    dropped = int(next(l for l in out.splitlines() if "dropped" in l).split()[-1])
+    assert dropped > 0
+
+
+def test_report_json_writes_sweep_artifact(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "report.json"
+    code = main(
+        [
+            "fig5",
+            "--mixes", "1",
+            "--mechanisms", "none",
+            "--scale", "2048",
+            "--instructions", "2000",
+            "--warmup-us", "2",
+            "--no-cache",
+            "--report-json", str(path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "none" in out and "blockhammer" not in out  # mechanisms filter
+    document = json.loads(path.read_text())
+    assert document["total"] > 0 and document["executed"] == document["total"]
+    assert len(document["jobs"]) == document["total"]
+    assert document["aggregate"]["executed_events"] > 0
+
+
+def test_report_json_without_sweep_warns(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    code = main(["table1", "--report-json", str(path)])
+    assert code == 0
+    assert not path.exists()
+    assert "no sweep ran" in capsys.readouterr().err
+
+
+def test_stale_report_never_leaks_into_next_command(tmp_path, capsys):
+    """A sweep command leaves a module-global last report; a following
+    non-sweep command in the same process must not republish it."""
+    from repro.harness import parallel
+
+    assert main(
+        [
+            "fig5",
+            "--mixes", "1",
+            "--mechanisms", "none",
+            "--scale", "2048",
+            "--instructions", "2000",
+            "--warmup-us", "2",
+            "--no-cache",
+        ]
+    ) == 0
+    capsys.readouterr()
+    path = tmp_path / "stale.json"
+    assert main(["table1", "--report-json", str(path)]) == 0
+    assert not path.exists()  # the stale report was cleared, not reused
+    assert parallel.last_report() is None
